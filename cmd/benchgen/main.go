@@ -1,0 +1,92 @@
+// Command benchgen generates the paper's benchmark systems and prints
+// their inventories, structure statistics, or Graphviz renderings.
+//
+// Examples:
+//
+//	benchgen                      # Table 1 inventory
+//	benchgen -bench MS4 -stats    # structural statistics
+//	benchgen -bench ESEN4x2 -dot  # fault tree in Graphviz dot
+//	benchgen -bench MS2 -ftdsl    # components in ftdsl stub form
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"socyield/internal/benchmarks"
+	"socyield/internal/logic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bench = flag.String("bench", "", "benchmark to generate (default: print the whole inventory)")
+		dot   = flag.Bool("dot", false, "print the fault tree in Graphviz dot")
+		stats = flag.Bool("stats", false, "print structural statistics")
+		dsl   = flag.Bool("ftdsl", false, "print component declarations in ftdsl form")
+	)
+	flag.Parse()
+	if *bench == "" {
+		fmt.Printf("%-10s %5s %7s %7s %6s\n", "benchmark", "C", "gates", "inputs", "depth")
+		for _, e := range benchmarks.PaperBenchmarks() {
+			sys, err := e.Build()
+			if err != nil {
+				return err
+			}
+			s, err := sys.FaultTree.ComputeStats()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10s %5d %7d %7d %6d\n", e.Name, len(sys.Components), s.Gates, s.Inputs, s.Depth)
+		}
+		return nil
+	}
+	for _, e := range benchmarks.PaperBenchmarks() {
+		if e.Name != *bench {
+			continue
+		}
+		sys, err := e.Build()
+		if err != nil {
+			return err
+		}
+		switch {
+		case *dot:
+			out, err := sys.FaultTree.DOT(sys.Name)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		case *dsl:
+			fmt.Printf("system %s\n", sys.Name)
+			for _, c := range sys.Components {
+				fmt.Printf("component %s %.6g\n", c.Name, c.P)
+			}
+			fmt.Println("# fails = <structure function is generated programmatically; see internal/benchmarks>")
+		case *stats:
+			s, err := sys.FaultTree.ComputeStats()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("benchmark   %s\n", sys.Name)
+			fmt.Printf("components  %d (P_L = %.4g)\n", len(sys.Components), sys.PL())
+			fmt.Printf("gates       %d (reachable %d, depth %d, max fan-in %d)\n",
+				s.Gates, s.Reachable, s.Depth, s.MaxFanin)
+			for _, k := range []logic.Kind{logic.AndKind, logic.OrKind, logic.NotKind} {
+				fmt.Printf("  %-5v %d\n", k, s.ByKind[k])
+			}
+		default:
+			for _, c := range sys.Components {
+				fmt.Printf("%-12s P=%.6g\n", c.Name, c.P)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown benchmark %q", *bench)
+}

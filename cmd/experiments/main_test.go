@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestParseCases(t *testing.T) {
+	cs, err := parseCases("MS6:1, ESEN4x4:2")
+	if err != nil {
+		t.Fatalf("parseCases: %v", err)
+	}
+	if len(cs) != 2 || cs[0].Benchmark != "MS6" || cs[0].LambdaPrime != 1 ||
+		cs[1].Benchmark != "ESEN4x4" || cs[1].LambdaPrime != 2 {
+		t.Errorf("parsed %v", cs)
+	}
+	if _, err := parseCases("MS6"); err == nil {
+		t.Error("missing λ' accepted")
+	}
+	if _, err := parseCases("MS6:x"); err == nil {
+		t.Error("bad λ' accepted")
+	}
+}

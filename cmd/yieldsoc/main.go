@@ -1,0 +1,227 @@
+// Command yieldsoc evaluates the manufacturing yield of a
+// fault-tolerant system-on-chip with the combinatorial method.
+//
+// The system is either one of the paper's benchmarks (-bench MS4,
+// -bench ESEN8x2) or a description file in the ftdsl format (-f
+// system.ft). The defect model is a negative binomial with mean
+// -lambda and clustering -alpha (use -poisson for the Poisson model).
+//
+// Examples:
+//
+//	yieldsoc -bench MS4 -lambda 2 -alpha 0.25
+//	yieldsoc -f tmr.ft -lambda 1 -alpha 2 -eps 1e-5
+//	yieldsoc -bench ESEN4x2 -lambda 2 -alpha 2 -mv wvr -bits lm
+//	yieldsoc -bench MS2 -lambda 2 -alpha 2 -reliability 0,10,100 -frate 1e-3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"socyield/internal/benchmarks"
+	"socyield/internal/defects"
+	"socyield/internal/ftdsl"
+	"socyield/internal/montecarlo"
+	"socyield/internal/order"
+	"socyield/internal/reliability"
+	"socyield/internal/yield"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "yieldsoc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		benchName = flag.String("bench", "", "benchmark system (MS<n> or ESEN<n>x<m>)")
+		file      = flag.String("f", "", "system description file (ftdsl format)")
+		lambda    = flag.Float64("lambda", 2, "expected number of manufacturing defects")
+		alpha     = flag.Float64("alpha", 2, "negative binomial clustering parameter")
+		poisson   = flag.Bool("poisson", false, "use a Poisson defect model instead")
+		eps       = flag.Float64("eps", 5e-3, "absolute yield error requirement")
+		mvName    = flag.String("mv", "w", "MV-variable ordering: wv wvr vw vrw t w h")
+		bitName   = flag.String("bits", "ml", "bit-group ordering: ml lm t w h")
+		nodeLimit = flag.Int("nodelimit", 0, "decision-diagram node budget (0 = unlimited)")
+		mcSamples = flag.Int("mc", 0, "also run a Monte-Carlo cross-check with this many samples")
+		sens      = flag.Bool("sensitivity", false, "print per-component yield sensitivities ∂Y/∂P_i")
+		relTimes  = flag.String("reliability", "", "comma-separated mission times for a reliability curve")
+		fRate     = flag.Float64("frate", 1e-3, "field failure rate per component (with -reliability)")
+		verbose   = flag.Bool("v", false, "print per-phase statistics")
+	)
+	flag.Parse()
+
+	sys, err := loadSystem(*benchName, *file)
+	if err != nil {
+		return err
+	}
+	var dist defects.Distribution
+	if *poisson {
+		dist, err = defects.NewPoisson(*lambda)
+	} else {
+		dist, err = defects.NewNegativeBinomial(*lambda, *alpha)
+	}
+	if err != nil {
+		return err
+	}
+	mv, err := order.ParseMVKind(*mvName)
+	if err != nil {
+		return err
+	}
+	bits, err := order.ParseBitKind(*bitName)
+	if err != nil {
+		return err
+	}
+	opts := yield.Options{
+		Defects: dist, Epsilon: *eps,
+		MVOrder: mv, BitOrder: bits, NodeLimit: *nodeLimit,
+	}
+	start := time.Now()
+	res, err := yield.Evaluate(sys, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("system      %s (C=%d components, %d gates)\n", sys.Name, len(sys.Components), sys.FaultTree.NumGates())
+	fmt.Printf("defects     %v, P_L=%.4g, λ'=%.4g\n", dist, res.PL, res.LambdaPrime)
+	fmt.Printf("truncation  M=%d (ε=%g, actual tail %.3g)\n", res.M, *eps, res.ErrorBound)
+	fmt.Printf("yield       %.6f  (true yield in [%.6f, %.6f])\n", res.Yield, res.Yield, res.Yield+res.ErrorBound)
+	if *verbose {
+		fmt.Printf("G function  %d gates over %d binary variables\n", res.GGates, res.BinaryVars)
+		fmt.Printf("coded ROBDD %d nodes (peak %d live)\n", res.CodedROBDDSize, res.ROBDDPeak)
+		fmt.Printf("ROMDD       %d nodes\n", res.ROMDDSize)
+		fmt.Printf("time        %v (order %v, compile %v, convert %v, eval %v)\n",
+			elapsed.Round(time.Millisecond),
+			res.Phases.Order.Round(time.Millisecond),
+			res.Phases.Compile.Round(time.Millisecond),
+			res.Phases.Convert.Round(time.Millisecond),
+			res.Phases.Eval.Round(time.Millisecond))
+	}
+	if *sens {
+		re, err := yield.NewReevaluator(sys, opts)
+		if err != nil {
+			return err
+		}
+		ps := make([]float64, len(sys.Components))
+		for i, c := range sys.Components {
+			ps[i] = c.P
+		}
+		ds, err := re.Sensitivities(ps, dist, 0)
+		if err != nil {
+			return err
+		}
+		type sc struct {
+			name string
+			d    float64
+		}
+		ranked := make([]sc, len(ds))
+		for i, d := range ds {
+			ranked[i] = sc{sys.Components[i].Name, d}
+		}
+		sort.Slice(ranked, func(a, b int) bool { return ranked[a].d < ranked[b].d })
+		fmt.Println("yield sensitivity ∂Y/∂P_i (most critical first):")
+		limit := 10
+		if len(ranked) < limit {
+			limit = len(ranked)
+		}
+		for _, r := range ranked[:limit] {
+			fmt.Printf("  %-14s %+.4f\n", r.name, r.d)
+		}
+	}
+	if *mcSamples > 0 {
+		mc, err := montecarlo.Estimate(sys, montecarlo.Options{
+			Defects: dist, Samples: *mcSamples, Seed: 1,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("monte-carlo %.6f ± %.6f (95%% CI, %d samples)\n", mc.Yield, mc.CI(1.96), mc.Samples)
+	}
+	if *relTimes != "" {
+		times, err := parseTimes(*relTimes)
+		if err != nil {
+			return err
+		}
+		lts := make([]reliability.Lifetime, len(sys.Components))
+		for i := range lts {
+			lts[i] = reliability.Exponential{Rate: *fRate}
+		}
+		curve, err := reliability.Curve(sys, reliability.Options{
+			Defects: dist, Epsilon: *eps, Lifetimes: lts,
+			MVOrder: mv, BitOrder: bits, NodeLimit: *nodeLimit,
+		}, times)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("reliability (exponential field failures, rate %g):\n", *fRate)
+		for _, pt := range curve.Points {
+			fmt.Printf("  R(%g) = %.6f\n", pt.T, pt.Reliability)
+		}
+	}
+	return nil
+}
+
+func loadSystem(bench, file string) (*yield.System, error) {
+	switch {
+	case bench != "" && file != "":
+		return nil, fmt.Errorf("give either -bench or -f, not both")
+	case bench != "":
+		for _, e := range benchmarks.PaperBenchmarks() {
+			if e.Name == bench {
+				return e.Build()
+			}
+		}
+		// Parse generalized MS<n> / ESEN<n>x<m> names beyond Table 1.
+		if n, ok := parseSuffix(bench, "MS"); ok {
+			return benchmarks.MS(n)
+		}
+		if rest, ok := strings.CutPrefix(bench, "ESEN"); ok {
+			parts := strings.Split(rest, "x")
+			if len(parts) == 2 {
+				n, err1 := strconv.Atoi(parts[0])
+				m, err2 := strconv.Atoi(parts[1])
+				if err1 == nil && err2 == nil {
+					return benchmarks.ESEN(n, m)
+				}
+			}
+		}
+		return nil, fmt.Errorf("unknown benchmark %q", bench)
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return ftdsl.Parse(string(src))
+	default:
+		return nil, fmt.Errorf("give -bench <name> or -f <file> (see -h)")
+	}
+}
+
+func parseSuffix(s, prefix string) (int, bool) {
+	rest, ok := strings.CutPrefix(s, prefix)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	return n, err == nil
+}
+
+func parseTimes(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad time %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

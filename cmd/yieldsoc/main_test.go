@@ -1,0 +1,56 @@
+package main
+
+import "testing"
+
+func TestLoadSystem(t *testing.T) {
+	if _, err := loadSystem("", ""); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadSystem("MS2", "x.ft"); err == nil {
+		t.Error("both sources accepted")
+	}
+	sys, err := loadSystem("MS2", "")
+	if err != nil || sys.Name != "MS2" {
+		t.Errorf("MS2: %v, %v", sys, err)
+	}
+	// Generalized names beyond Table 1.
+	sys, err = loadSystem("MS3", "")
+	if err != nil || len(sys.Components) != 24 {
+		t.Errorf("MS3: %v, %v", sys, err)
+	}
+	sys, err = loadSystem("ESEN16x2", "")
+	if err != nil || sys.Name != "ESEN16x2" {
+		t.Errorf("ESEN16x2: %v", err)
+	}
+	if _, err := loadSystem("ESEN16", ""); err == nil {
+		t.Error("malformed ESEN name accepted")
+	}
+	if _, err := loadSystem("FOO9", ""); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := loadSystem("", "/nonexistent.ft"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseTimes(t *testing.T) {
+	ts, err := parseTimes("0, 1.5,3e2")
+	if err != nil || len(ts) != 3 || ts[1] != 1.5 || ts[2] != 300 {
+		t.Errorf("parseTimes: %v, %v", ts, err)
+	}
+	if _, err := parseTimes("1,x"); err == nil {
+		t.Error("bad time accepted")
+	}
+}
+
+func TestParseSuffix(t *testing.T) {
+	if n, ok := parseSuffix("MS12", "MS"); !ok || n != 12 {
+		t.Errorf("parseSuffix: %d, %v", n, ok)
+	}
+	if _, ok := parseSuffix("XS12", "MS"); ok {
+		t.Error("wrong prefix accepted")
+	}
+	if _, ok := parseSuffix("MSx", "MS"); ok {
+		t.Error("non-numeric suffix accepted")
+	}
+}

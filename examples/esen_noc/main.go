@@ -1,0 +1,70 @@
+// ESEN NoC study: the paper's second benchmark family — IP cores
+// around a fault-tolerant multistage interconnection network (SEN+
+// with duplicated first/last-stage switches). Unlike the MS family,
+// yield *decreases* as the fabric grows: the network's full-access
+// requirement ANDs over every port pair, so more switches means more
+// single points whose pair must survive. The example also exercises
+// the operational-reliability extension on one instance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"socyield"
+)
+
+func main() {
+	fmt.Println("ESEN yield (negative binomial, α=2, P_L=0.5)")
+	fmt.Printf("%-10s %-4s %-8s %-8s\n", "system", "C", "λ'", "yield")
+	for _, cs := range []struct {
+		n, m   int
+		lambda float64
+	}{
+		{4, 1, 2}, {4, 2, 2}, {4, 4, 2}, // λ' = 1 across the family
+		{4, 1, 4}, {4, 2, 4}, // λ' = 2: deeper truncation, lower yield
+	} {
+		sys, err := socyield.ESEN(cs.n, cs.m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dist, err := socyield.NewNegativeBinomial(cs.lambda, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := socyield.Evaluate(sys, socyield.Options{Defects: dist, Epsilon: 5e-3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-4d %-8.3g %.4f\n", sys.Name, len(sys.Components), res.LambdaPrime, res.Yield)
+	}
+
+	// Operational reliability of ESEN4x2: manufacturing defects plus
+	// exponential field failures (switches age faster than IP cores in
+	// this scenario).
+	sys, err := socyield.ESEN(4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist, _ := socyield.NewNegativeBinomial(2, 2)
+	lifetimes := make([]socyield.Lifetime, len(sys.Components))
+	for i, c := range sys.Components {
+		switch c.Name[0] {
+		case 'S': // switching elements: wear-out
+			lifetimes[i] = socyield.Weibull{Scale: 8000, Shape: 2}
+		default: // IP cores and concentrators
+			lifetimes[i] = socyield.Exponential{Rate: 1e-5}
+		}
+	}
+	curve, err := socyield.ReliabilityCurve(sys, socyield.ReliabilityOptions{
+		Defects: dist, Epsilon: 5e-3, Lifetimes: lifetimes,
+	}, []float64{0, 1000, 2000, 4000, 8000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nESEN4x2 operational reliability (defects + field failures):")
+	for _, pt := range curve.Points {
+		fmt.Printf("  R(%6g h) = %.4f\n", pt.T, pt.Reliability)
+	}
+	fmt.Printf("R(0) equals the manufacturing yield: %.4f\n", curve.YieldAtZero)
+}

@@ -1,0 +1,3 @@
+module socyield
+
+go 1.24

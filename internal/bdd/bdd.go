@@ -1,0 +1,648 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (ROBDDs) in the style of Bryant (1986) and of the CMU BDD library the
+// paper builds on: a node arena with an embedded-chain unique table,
+// a lossy ITE operation cache, external reference counting, mark-sweep
+// garbage collection with free-list reuse, a configurable node limit,
+// and peak-occupancy tracking (the paper's "ROBDD peak" column).
+//
+// Variables are identified by their level in the fixed total order,
+// 0 .. NumVars-1; mapping from named problem variables to levels is the
+// caller's concern (package order computes such orders). Nodes are
+// referred to by opaque Node handles; the two terminals are False and
+// True. All operations keep diagrams canonical: for a fixed order,
+// equivalent functions are represented by the same Node.
+package bdd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Node is a handle to a BDD node owned by a Manager. Handles are only
+// meaningful with the Manager that produced them. The zero Node is the
+// False terminal.
+type Node int32
+
+// Terminal nodes, shared by every manager.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+// ErrNodeLimit is returned when an operation would grow the manager
+// past its configured node limit. It reproduces the memory-exhaustion
+// failures ("—" entries) of the paper under a portable budget.
+var ErrNodeLimit = errors.New("bdd: node limit exceeded")
+
+// node is one arena slot. lo is the cofactor for the level variable at
+// 0, hi at 1. next chains the unique-table bucket. A free slot has
+// level == freeLevel and lo chaining the free list.
+type node struct {
+	level int32
+	lo    Node
+	hi    Node
+	next  int32
+}
+
+const (
+	nilIdx    = int32(-1)
+	freeLevel = int32(-2)
+)
+
+// Manager owns an ROBDD arena for a fixed number of variables.
+type Manager struct {
+	nodes     []node
+	refs      []int32
+	buckets   []int32
+	numVars   int32
+	free      int32 // head of free list, nilIdx if empty
+	freeCount int
+	live      int
+	peakLive  int
+	limit     int
+	cache     []cacheEntry
+	cacheMask uint32
+	gcCount   int
+	autoGCAt  int
+	stamp     []int32 // visitation stamps for traversals
+	stampGen  int32
+	limitHit  bool
+}
+
+type cacheEntry struct {
+	f, g, h Node
+	result  Node
+	op      int32 // opITE or negative sentinel when empty
+}
+
+const (
+	opNone int32 = 0
+	opITE  int32 = 1
+)
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithNodeLimit bounds the number of simultaneously live nodes. When
+// an operation would exceed it, the operation fails with ErrNodeLimit.
+// A limit of 0 (the default) means unlimited.
+func WithNodeLimit(n int) Option {
+	return func(m *Manager) { m.limit = n }
+}
+
+// WithInitialCapacity pre-sizes the arena.
+func WithInitialCapacity(n int) Option {
+	return func(m *Manager) {
+		if n > len(m.nodes) {
+			m.nodes = append(make([]node, 0, n), m.nodes...)
+			m.refs = append(make([]int32, 0, n), m.refs...)
+		}
+	}
+}
+
+// New creates a manager for numVars boolean variables at levels
+// 0 .. numVars-1.
+func New(numVars int, opts ...Option) *Manager {
+	if numVars < 0 {
+		panic(fmt.Sprintf("bdd: negative variable count %d", numVars))
+	}
+	m := &Manager{
+		numVars: int32(numVars),
+		free:    nilIdx,
+	}
+	// Terminal slots 0 and 1. Terminal level is numVars so that every
+	// internal level compares below it.
+	m.nodes = append(m.nodes, node{level: m.numVars, next: nilIdx}, node{level: m.numVars, next: nilIdx})
+	m.refs = append(m.refs, 1, 1) // terminals are permanently referenced
+	m.live = 2
+	m.peakLive = 2
+	m.resizeBuckets(1 << 10)
+	m.resizeCache(1 << 12)
+	m.autoGCAt = 1 << 16
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// NumVars returns the number of variables the manager was created with.
+func (m *Manager) NumVars() int { return int(m.numVars) }
+
+// Live returns the number of live (allocated, not freed) nodes,
+// including the two terminals.
+func (m *Manager) Live() int { return m.live }
+
+// PeakLive returns the high-water mark of Live over the manager's
+// lifetime: the paper's "peak number of ROBDD nodes".
+func (m *Manager) PeakLive() int { return m.peakLive }
+
+// GCs returns the number of garbage collections performed.
+func (m *Manager) GCs() int { return m.gcCount }
+
+func (m *Manager) resizeBuckets(n int) {
+	m.buckets = make([]int32, n)
+	for i := range m.buckets {
+		m.buckets[i] = nilIdx
+	}
+	for i := range m.nodes {
+		nd := &m.nodes[i]
+		if nd.level == freeLevel || nd.level == m.numVars {
+			continue
+		}
+		b := m.bucketOf(nd.level, nd.lo, nd.hi)
+		nd.next = m.buckets[b]
+		m.buckets[b] = int32(i)
+	}
+}
+
+func (m *Manager) resizeCache(n int) {
+	m.cache = make([]cacheEntry, n)
+	m.cacheMask = uint32(n - 1)
+}
+
+func mix(a, b, c uint32) uint32 {
+	h := a*0x9e3779b1 ^ b*0x85ebca77 ^ c*0xc2b2ae3d
+	h ^= h >> 15
+	h *= 0x27d4eb2f
+	h ^= h >> 13
+	return h
+}
+
+func (m *Manager) bucketOf(level int32, lo, hi Node) uint32 {
+	return mix(uint32(level), uint32(lo), uint32(hi)) & uint32(len(m.buckets)-1)
+}
+
+// mk returns the canonical node (level, lo, hi), creating it if needed.
+// It panics with errLimitPanic when the node limit is exceeded; the
+// exported entry points recover that into ErrNodeLimit.
+func (m *Manager) mk(level int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	b := m.bucketOf(level, lo, hi)
+	for i := m.buckets[b]; i != nilIdx; i = m.nodes[i].next {
+		nd := &m.nodes[i]
+		if nd.level == level && nd.lo == lo && nd.hi == hi {
+			return Node(i)
+		}
+	}
+	if m.limit > 0 && m.live >= m.limit {
+		m.limitHit = true
+		panic(errLimitPanic{})
+	}
+	var idx int32
+	if m.free != nilIdx {
+		idx = m.free
+		m.free = int32(m.nodes[idx].lo)
+		m.freeCount--
+	} else {
+		idx = int32(len(m.nodes))
+		m.nodes = append(m.nodes, node{})
+		m.refs = append(m.refs, 0)
+		if len(m.nodes) > 2*len(m.buckets) {
+			m.resizeBuckets(len(m.buckets) * 2)
+			if len(m.cache) < len(m.buckets) {
+				m.resizeCache(len(m.buckets))
+			}
+			b = m.bucketOf(level, lo, hi)
+		}
+	}
+	m.nodes[idx] = node{level: level, lo: lo, hi: hi, next: m.buckets[b]}
+	m.refs[idx] = 0
+	m.buckets[b] = idx
+	m.live++
+	if m.live > m.peakLive {
+		m.peakLive = m.live
+	}
+	return Node(idx)
+}
+
+type errLimitPanic struct{}
+
+// guard converts the internal node-limit panic into ErrNodeLimit.
+func (m *Manager) guard(err *error) {
+	if r := recover(); r != nil {
+		if _, ok := r.(errLimitPanic); ok {
+			*err = ErrNodeLimit
+			return
+		}
+		panic(r)
+	}
+}
+
+// Var returns the function of the single variable at the given level.
+func (m *Manager) Var(level int) (Node, error) {
+	if level < 0 || int32(level) >= m.numVars {
+		return False, fmt.Errorf("bdd: variable level %d out of range [0,%d)", level, m.numVars)
+	}
+	var out Node
+	var err error
+	func() {
+		defer m.guard(&err)
+		out = m.mk(int32(level), False, True)
+	}()
+	return out, err
+}
+
+// NVar returns the negation of the variable at the given level.
+func (m *Manager) NVar(level int) (Node, error) {
+	if level < 0 || int32(level) >= m.numVars {
+		return False, fmt.Errorf("bdd: variable level %d out of range [0,%d)", level, m.numVars)
+	}
+	var out Node
+	var err error
+	func() {
+		defer m.guard(&err)
+		out = m.mk(int32(level), True, False)
+	}()
+	return out, err
+}
+
+// Level returns the variable level of n, or NumVars() for terminals.
+func (m *Manager) Level(n Node) int { return int(m.nodes[n].level) }
+
+// Lo returns the cofactor of n with its top variable set to 0.
+// n must not be a terminal.
+func (m *Manager) Lo(n Node) Node { return m.nodes[n].lo }
+
+// Hi returns the cofactor of n with its top variable set to 1.
+// n must not be a terminal.
+func (m *Manager) Hi(n Node) Node { return m.nodes[n].hi }
+
+// IsTerminal reports whether n is False or True.
+func (m *Manager) IsTerminal(n Node) bool { return n == False || n == True }
+
+// Ref adds an external reference to n, protecting it (and everything
+// reachable from it) across garbage collections. It returns n for
+// chaining.
+func (m *Manager) Ref(n Node) Node {
+	if n > True {
+		m.refs[n]++
+	}
+	return n
+}
+
+// Deref removes an external reference added by Ref.
+func (m *Manager) Deref(n Node) {
+	if n > True {
+		if m.refs[n] == 0 {
+			panic(fmt.Sprintf("bdd: Deref of unreferenced node %d", n))
+		}
+		m.refs[n]--
+	}
+}
+
+func (m *Manager) cofactor(n Node, level int32) (lo, hi Node) {
+	nd := &m.nodes[n]
+	if nd.level == level {
+		return nd.lo, nd.hi
+	}
+	return n, n
+}
+
+func min3(a, b, c int32) int32 {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// ite computes if-then-else(f, g, h) recursively.
+func (m *Manager) ite(f, g, h Node) Node {
+	// Terminal and identity simplifications.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	// Normalize ITE(f, g, f) = ITE(f, g, 0) and ITE(f, f, h) = ITE(f, 1, h)
+	// to improve cache hit rates.
+	if h == f {
+		h = False
+	}
+	if g == f {
+		g = True
+	}
+	// Commutative normalizations: AND and OR arguments sorted.
+	if h == False && f > g { // f∧g
+		f, g = g, f
+	}
+	if g == True && f > h { // f∨h
+		f, h = h, f
+	}
+	slot := &m.cache[mix(uint32(f), uint32(g), uint32(h))&m.cacheMask]
+	if slot.op == opITE && slot.f == f && slot.g == g && slot.h == h {
+		return slot.result
+	}
+	top := min3(m.nodes[f].level, m.nodes[g].level, m.nodes[h].level)
+	f0, f1 := m.cofactor(f, top)
+	g0, g1 := m.cofactor(g, top)
+	h0, h1 := m.cofactor(h, top)
+	lo := m.ite(f0, g0, h0)
+	hi := m.ite(f1, g1, h1)
+	r := m.mk(top, lo, hi)
+	*slot = cacheEntry{f: f, g: g, h: h, result: r, op: opITE}
+	return r
+}
+
+// ITE returns if-then-else(f, g, h) = (f∧g) ∨ (¬f∧h).
+func (m *Manager) ITE(f, g, h Node) (Node, error) {
+	var out Node
+	var err error
+	func() {
+		defer m.guard(&err)
+		out = m.ite(f, g, h)
+	}()
+	return out, err
+}
+
+// Not returns the complement of f.
+func (m *Manager) Not(f Node) (Node, error) { return m.ITE(f, False, True) }
+
+// And returns the conjunction of the arguments (True when empty).
+func (m *Manager) And(fs ...Node) (Node, error) {
+	out := True
+	for _, f := range fs {
+		r, err := m.ITE(out, f, False)
+		if err != nil {
+			return False, err
+		}
+		out = r
+	}
+	return out, nil
+}
+
+// Or returns the disjunction of the arguments (False when empty).
+func (m *Manager) Or(fs ...Node) (Node, error) {
+	out := False
+	for _, f := range fs {
+		r, err := m.ITE(out, True, f)
+		if err != nil {
+			return False, err
+		}
+		out = r
+	}
+	return out, nil
+}
+
+// Xor returns the exclusive-or of f and g.
+func (m *Manager) Xor(f, g Node) (Node, error) {
+	ng, err := m.Not(g)
+	if err != nil {
+		return False, err
+	}
+	return m.ITE(f, ng, g)
+}
+
+// Implies returns f → g.
+func (m *Manager) Implies(f, g Node) (Node, error) { return m.ITE(f, g, True) }
+
+// Equiv returns f ↔ g.
+func (m *Manager) Equiv(f, g Node) (Node, error) {
+	ng, err := m.Not(g)
+	if err != nil {
+		return False, err
+	}
+	return m.ITE(f, g, ng)
+}
+
+// Restrict returns f with the variable at the given level fixed to val.
+func (m *Manager) Restrict(f Node, level int, val bool) (Node, error) {
+	if level < 0 || int32(level) >= m.numVars {
+		return False, fmt.Errorf("bdd: variable level %d out of range [0,%d)", level, m.numVars)
+	}
+	var out Node
+	var err error
+	func() {
+		defer m.guard(&err)
+		memo := map[Node]Node{}
+		out = m.restrict(f, int32(level), val, memo)
+	}()
+	return out, err
+}
+
+func (m *Manager) restrict(f Node, level int32, val bool, memo map[Node]Node) Node {
+	nd := &m.nodes[f]
+	if nd.level > level {
+		return f
+	}
+	if nd.level == level {
+		if val {
+			return nd.hi
+		}
+		return nd.lo
+	}
+	if r, ok := memo[f]; ok {
+		return r
+	}
+	r := m.mk(nd.level, m.restrict(nd.lo, level, val, memo), m.restrict(nd.hi, level, val, memo))
+	memo[f] = r
+	return r
+}
+
+// Exists existentially quantifies the variables at the given levels
+// out of f.
+func (m *Manager) Exists(f Node, levels ...int) (Node, error) {
+	out := f
+	for _, lv := range levels {
+		lo, err := m.Restrict(out, lv, false)
+		if err != nil {
+			return False, err
+		}
+		hi, err := m.Restrict(out, lv, true)
+		if err != nil {
+			return False, err
+		}
+		out, err = m.Or(lo, hi)
+		if err != nil {
+			return False, err
+		}
+	}
+	return out, nil
+}
+
+// Eval evaluates f under the assignment (assign[level] is the value of
+// the variable at that level; missing trailing levels read as false).
+func (m *Manager) Eval(f Node, assign []bool) bool {
+	for !m.IsTerminal(f) {
+		nd := &m.nodes[f]
+		if int(nd.level) < len(assign) && assign[nd.level] {
+			f = nd.hi
+		} else {
+			f = nd.lo
+		}
+	}
+	return f == True
+}
+
+func (m *Manager) nextStamp() int32 {
+	if len(m.stamp) < len(m.nodes) {
+		m.stamp = make([]int32, len(m.nodes))
+		m.stampGen = 0
+	}
+	m.stampGen++
+	return m.stampGen
+}
+
+// Size returns the number of nodes in the diagram rooted at f,
+// including the terminals it reaches.
+func (m *Manager) Size(f Node) int {
+	gen := m.nextStamp()
+	return m.sizeRec(f, gen)
+}
+
+// SizeShared returns the number of distinct nodes reachable from any
+// of the given roots (diagram sharing counted once).
+func (m *Manager) SizeShared(roots []Node) int {
+	gen := m.nextStamp()
+	total := 0
+	for _, r := range roots {
+		total += m.sizeRec(r, gen)
+	}
+	return total
+}
+
+func (m *Manager) sizeRec(f Node, gen int32) int {
+	if m.stamp[f] == gen {
+		return 0
+	}
+	m.stamp[f] = gen
+	if m.IsTerminal(f) {
+		return 1
+	}
+	nd := &m.nodes[f]
+	return 1 + m.sizeRec(nd.lo, gen) + m.sizeRec(nd.hi, gen)
+}
+
+// Support returns the sorted levels of the variables f depends on.
+func (m *Manager) Support(f Node) []int {
+	gen := m.nextStamp()
+	seen := make(map[int]bool)
+	m.supportRec(f, gen, seen)
+	out := make([]int, 0, len(seen))
+	for lv := int32(0); lv < m.numVars; lv++ {
+		if seen[int(lv)] {
+			out = append(out, int(lv))
+		}
+	}
+	return out
+}
+
+func (m *Manager) supportRec(f Node, gen int32, seen map[int]bool) {
+	if m.IsTerminal(f) || m.stamp[f] == gen {
+		return
+	}
+	m.stamp[f] = gen
+	nd := &m.nodes[f]
+	seen[int(nd.level)] = true
+	m.supportRec(nd.lo, gen, seen)
+	m.supportRec(nd.hi, gen, seen)
+}
+
+// SatFraction returns the fraction of the 2^NumVars assignments that
+// satisfy f. It is exact up to float64 rounding.
+func (m *Manager) SatFraction(f Node) float64 {
+	memo := make(map[Node]float64)
+	return m.satFrac(f, memo)
+}
+
+func (m *Manager) satFrac(f Node, memo map[Node]float64) float64 {
+	if f == False {
+		return 0
+	}
+	if f == True {
+		return 1
+	}
+	if v, ok := memo[f]; ok {
+		return v
+	}
+	nd := &m.nodes[f]
+	v := 0.5*m.satFrac(nd.lo, memo) + 0.5*m.satFrac(nd.hi, memo)
+	memo[f] = v
+	return v
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// NumVars variables, as a float64 (exact for counts below 2^53).
+func (m *Manager) SatCount(f Node) float64 {
+	return m.SatFraction(f) * math.Pow(2, float64(m.numVars))
+}
+
+// GC reclaims every node not reachable from an externally referenced
+// node. It returns the number of nodes freed. Operation caches are
+// cleared. GC is also run automatically when the arena grows large;
+// nodes held only by in-flight operations are never collected because
+// operations do not trigger GC internally.
+func (m *Manager) GC() int {
+	gen := m.nextStamp()
+	// Mark phase: roots are nodes with a positive external refcount.
+	for i := 2; i < len(m.nodes); i++ {
+		if m.refs[i] > 0 && m.nodes[i].level != freeLevel {
+			m.markRec(Node(i), gen)
+		}
+	}
+	m.stamp[False] = gen
+	m.stamp[True] = gen
+	// Sweep phase.
+	freed := 0
+	for i := 2; i < len(m.nodes); i++ {
+		if m.nodes[i].level == freeLevel || m.stamp[i] == gen {
+			continue
+		}
+		m.nodes[i] = node{level: freeLevel, lo: Node(m.free), next: nilIdx}
+		m.free = int32(i)
+		m.freeCount++
+		freed++
+	}
+	if freed > 0 {
+		m.live -= freed
+		m.resizeBuckets(len(m.buckets))
+	}
+	for i := range m.cache {
+		m.cache[i] = cacheEntry{}
+	}
+	m.gcCount++
+	return freed
+}
+
+func (m *Manager) markRec(f Node, gen int32) {
+	if m.stamp[f] == gen {
+		return
+	}
+	m.stamp[f] = gen
+	if m.IsTerminal(f) {
+		return
+	}
+	nd := &m.nodes[f]
+	m.markRec(nd.lo, gen)
+	m.markRec(nd.hi, gen)
+}
+
+// MaybeGC runs GC if the arena has grown substantially since the last
+// collection. It is intended to be called at safe points (between
+// top-level operations, e.g. after compiling each gate).
+func (m *Manager) MaybeGC() int {
+	if m.live < m.autoGCAt {
+		return 0
+	}
+	freed := m.GC()
+	// Back off: grow the threshold so GC amortizes, but collect again
+	// soon if most of the arena stayed live.
+	if m.live*2 > m.autoGCAt {
+		m.autoGCAt = m.live * 2
+	}
+	return freed
+}
+
+// LimitExceeded reports whether any operation has failed with
+// ErrNodeLimit since the manager was created.
+func (m *Manager) LimitExceeded() bool { return m.limitHit }

@@ -1,0 +1,598 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustVar(t *testing.T, m *Manager, lv int) Node {
+	t.Helper()
+	n, err := m.Var(lv)
+	if err != nil {
+		t.Fatalf("Var(%d): %v", lv, err)
+	}
+	return n
+}
+
+func TestTerminals(t *testing.T) {
+	m := New(3)
+	if !m.IsTerminal(False) || !m.IsTerminal(True) {
+		t.Fatal("terminals not recognized")
+	}
+	if m.Level(True) != 3 || m.Level(False) != 3 {
+		t.Errorf("terminal level = %d/%d, want 3", m.Level(False), m.Level(True))
+	}
+	if m.Eval(True, nil) != true || m.Eval(False, nil) != false {
+		t.Error("terminal evaluation wrong")
+	}
+}
+
+func TestVarBasics(t *testing.T) {
+	m := New(3)
+	x := mustVar(t, m, 1)
+	if m.Level(x) != 1 {
+		t.Errorf("Level = %d, want 1", m.Level(x))
+	}
+	if m.Lo(x) != False || m.Hi(x) != True {
+		t.Errorf("Var cofactors = %d,%d; want False,True", m.Lo(x), m.Hi(x))
+	}
+	x2 := mustVar(t, m, 1)
+	if x != x2 {
+		t.Error("Var not canonical")
+	}
+	nx, err := m.NVar(1)
+	if err != nil {
+		t.Fatalf("NVar: %v", err)
+	}
+	notx, err := m.Not(x)
+	if err != nil {
+		t.Fatalf("Not: %v", err)
+	}
+	if nx != notx {
+		t.Error("NVar(1) != Not(Var(1)): canonicity violated")
+	}
+	if _, err := m.Var(3); err == nil {
+		t.Error("Var(3) of 3-var manager: want range error")
+	}
+	if _, err := m.NVar(-1); err == nil {
+		t.Error("NVar(-1): want range error")
+	}
+}
+
+func TestCanonicityOfEquivalentFormulas(t *testing.T) {
+	m := New(4)
+	a, b, c := mustVar(t, m, 0), mustVar(t, m, 1), mustVar(t, m, 2)
+	// (a∧b)∨(a∧c) == a∧(b∨c)
+	ab, _ := m.And(a, b)
+	ac, _ := m.And(a, c)
+	lhs, _ := m.Or(ab, ac)
+	bc, _ := m.Or(b, c)
+	rhs, _ := m.And(a, bc)
+	if lhs != rhs {
+		t.Error("distributivity: equivalent functions got different nodes")
+	}
+	// De Morgan.
+	nab, _ := m.Not(ab)
+	na, _ := m.Not(a)
+	nb, _ := m.Not(b)
+	naOrNb, _ := m.Or(na, nb)
+	if nab != naOrNb {
+		t.Error("De Morgan: equivalent functions got different nodes")
+	}
+	// Xor expansion.
+	x1, _ := m.Xor(a, b)
+	anb, _ := m.And(a, nb)
+	nab2, _ := m.And(na, b)
+	x2, _ := m.Or(anb, nab2)
+	if x1 != x2 {
+		t.Error("xor expansion: equivalent functions got different nodes")
+	}
+}
+
+func TestEvalMatchesSemantics(t *testing.T) {
+	m := New(3)
+	a, b, c := mustVar(t, m, 0), mustVar(t, m, 1), mustVar(t, m, 2)
+	ab, _ := m.And(a, b)
+	f, _ := m.Or(ab, c) // a∧b ∨ c
+	for mask := 0; mask < 8; mask++ {
+		assign := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		want := (assign[0] && assign[1]) || assign[2]
+		if got := m.Eval(f, assign); got != want {
+			t.Errorf("Eval mask %03b = %v, want %v", mask, got, want)
+		}
+	}
+}
+
+func TestITEIdentities(t *testing.T) {
+	m := New(3)
+	a, b := mustVar(t, m, 0), mustVar(t, m, 1)
+	if r, _ := m.ITE(True, a, b); r != a {
+		t.Error("ITE(1,a,b) != a")
+	}
+	if r, _ := m.ITE(False, a, b); r != b {
+		t.Error("ITE(0,a,b) != b")
+	}
+	if r, _ := m.ITE(a, b, b); r != b {
+		t.Error("ITE(a,b,b) != b")
+	}
+	if r, _ := m.ITE(a, True, False); r != a {
+		t.Error("ITE(a,1,0) != a")
+	}
+	na, _ := m.Not(a)
+	if r, _ := m.ITE(a, False, True); r != na {
+		t.Error("ITE(a,0,1) != ¬a")
+	}
+	r, _ := m.ITE(a, b, a)
+	r2, _ := m.And(a, b)
+	if r != r2 {
+		t.Error("ITE(a,b,a) != a∧b")
+	}
+	r, _ = m.ITE(a, a, b)
+	r2, _ = m.Or(a, b)
+	if r != r2 {
+		t.Error("ITE(a,a,b) != a∨b")
+	}
+}
+
+func TestImpliesEquiv(t *testing.T) {
+	m := New(2)
+	a, b := mustVar(t, m, 0), mustVar(t, m, 1)
+	imp, _ := m.Implies(a, b)
+	eqv, _ := m.Equiv(a, b)
+	for mask := 0; mask < 4; mask++ {
+		assign := []bool{mask&1 != 0, mask&2 != 0}
+		if got, want := m.Eval(imp, assign), !assign[0] || assign[1]; got != want {
+			t.Errorf("Implies mask %02b = %v, want %v", mask, got, want)
+		}
+		if got, want := m.Eval(eqv, assign), assign[0] == assign[1]; got != want {
+			t.Errorf("Equiv mask %02b = %v, want %v", mask, got, want)
+		}
+	}
+}
+
+func TestRestrictAndExists(t *testing.T) {
+	m := New(3)
+	a, b, c := mustVar(t, m, 0), mustVar(t, m, 1), mustVar(t, m, 2)
+	ab, _ := m.And(a, b)
+	f, _ := m.Or(ab, c)
+	r1, err := m.Restrict(f, 0, true) // b ∨ c
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	bc, _ := m.Or(b, c)
+	if r1 != bc {
+		t.Error("Restrict(f, a=1) != b∨c")
+	}
+	r0, _ := m.Restrict(f, 0, false) // c
+	if r0 != c {
+		t.Error("Restrict(f, a=0) != c")
+	}
+	ex, err := m.Exists(f, 0) // ∃a. f = b∨c
+	if err != nil {
+		t.Fatalf("Exists: %v", err)
+	}
+	if ex != bc {
+		t.Error("Exists(f, a) != b∨c")
+	}
+	exAll, _ := m.Exists(f, 0, 1, 2)
+	if exAll != True {
+		t.Error("Exists over all variables of a satisfiable f != True")
+	}
+	if _, err := m.Restrict(f, 9, true); err == nil {
+		t.Error("Restrict with out-of-range level: want error")
+	}
+}
+
+func TestSizeAndSupport(t *testing.T) {
+	m := New(3)
+	a, b, c := mustVar(t, m, 0), mustVar(t, m, 1), mustVar(t, m, 2)
+	ab, _ := m.And(a, b)
+	f, _ := m.Or(ab, c)
+	// Diagram: node(a) -> node(b) -> node(c), two terminals = 5 nodes.
+	if got := m.Size(f); got != 5 {
+		t.Errorf("Size = %d, want 5", got)
+	}
+	if got := m.Size(True); got != 1 {
+		t.Errorf("Size(True) = %d, want 1", got)
+	}
+	sup := m.Support(f)
+	if len(sup) != 3 || sup[0] != 0 || sup[1] != 1 || sup[2] != 2 {
+		t.Errorf("Support = %v, want [0 1 2]", sup)
+	}
+	if got := m.Support(c); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Support(c) = %v, want [2]", got)
+	}
+	// c's node is a subgraph of f (it is f's lo-cofactor), so sharing
+	// makes the joint size equal Size(f).
+	if shared := m.SizeShared([]Node{f, c}); shared != m.Size(f) {
+		t.Errorf("SizeShared(f,c) = %d, want %d", shared, m.Size(f))
+	}
+	// ab is NOT a subgraph of f (its b-node has different cofactors),
+	// so the joint size is Size(f) plus ab's two fresh internal nodes.
+	if shared := m.SizeShared([]Node{f, ab}); shared != m.Size(f)+2 {
+		t.Errorf("SizeShared(f,ab) = %d, want %d", shared, m.Size(f)+2)
+	}
+}
+
+func TestSatFractionAndCount(t *testing.T) {
+	m := New(3)
+	a, b := mustVar(t, m, 0), mustVar(t, m, 1)
+	ab, _ := m.And(a, b)
+	if got := m.SatFraction(ab); got != 0.25 {
+		t.Errorf("SatFraction(a∧b) = %v, want 0.25", got)
+	}
+	if got := m.SatCount(ab); got != 2 { // 2 of 8 assignments
+		t.Errorf("SatCount(a∧b) = %v, want 2", got)
+	}
+	if got := m.SatFraction(True); got != 1 {
+		t.Errorf("SatFraction(True) = %v, want 1", got)
+	}
+	if got := m.SatFraction(False); got != 0 {
+		t.Errorf("SatFraction(False) = %v, want 0", got)
+	}
+	x, _ := m.Xor(a, b)
+	if got := m.SatFraction(x); got != 0.5 {
+		t.Errorf("SatFraction(a⊕b) = %v, want 0.5", got)
+	}
+}
+
+func TestGCReclaimsUnreferenced(t *testing.T) {
+	m := New(8)
+	var keep Node
+	{
+		a, b := mustVar(t, m, 0), mustVar(t, m, 1)
+		k, _ := m.And(a, b)
+		keep = m.Ref(k)
+	}
+	// Build lots of garbage.
+	for i := 0; i < 6; i++ {
+		x := mustVar(t, m, i)
+		y := mustVar(t, m, i+1)
+		xy, _ := m.Xor(x, y)
+		o, _ := m.Or(xy, keep)
+		_ = o
+	}
+	before := m.Live()
+	freed := m.GC()
+	if freed == 0 {
+		t.Fatal("GC freed nothing despite garbage present")
+	}
+	if m.Live() != before-freed {
+		t.Errorf("Live = %d, want %d", m.Live(), before-freed)
+	}
+	// keep must have survived and still be correct.
+	if !m.Eval(keep, []bool{true, true}) || m.Eval(keep, []bool{true, false}) {
+		t.Error("referenced node corrupted by GC")
+	}
+	// Canonicity must survive GC: rebuilding a∧b finds the same node.
+	a, b := mustVar(t, m, 0), mustVar(t, m, 1)
+	k2, _ := m.And(a, b)
+	if k2 != keep {
+		t.Error("unique table broken after GC: a∧b rebuilt as a different node")
+	}
+	m.Deref(keep)
+	if g := m.GCs(); g != 1 {
+		t.Errorf("GCs = %d, want 1", g)
+	}
+}
+
+func TestGCFreeSlotReuse(t *testing.T) {
+	m := New(4)
+	a, b := mustVar(t, m, 0), mustVar(t, m, 1)
+	g, _ := m.And(a, b)
+	_ = g
+	live := m.Live()
+	m.GC() // g is garbage (vars a,b too unless referenced — they are not)
+	if m.Live() >= live {
+		t.Fatalf("GC did not reduce live count: %d -> %d", live, m.Live())
+	}
+	// New allocations must reuse freed slots, not grow the arena.
+	nodesBefore := len(m.nodes)
+	c, _ := m.Var(2)
+	d, _ := m.Var(3)
+	cd, _ := m.And(c, d)
+	_ = cd
+	if len(m.nodes) != nodesBefore {
+		t.Errorf("arena grew from %d to %d despite free slots", nodesBefore, len(m.nodes))
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	m := New(16, WithNodeLimit(8))
+	var err error
+	var f Node = True
+	for i := 0; i < 16 && err == nil; i++ {
+		var v Node
+		v, err = m.Var(i)
+		if err != nil {
+			break
+		}
+		f, err = m.Xor(f, v) // xor chains grow linearly, hits limit fast
+	}
+	if err != ErrNodeLimit {
+		t.Fatalf("expected ErrNodeLimit, got %v", err)
+	}
+	if !m.LimitExceeded() {
+		t.Error("LimitExceeded() = false after a limit failure")
+	}
+	// The manager must remain usable for reads after a limit failure.
+	if m.Eval(True, nil) != true {
+		t.Error("manager unusable after limit hit")
+	}
+}
+
+func TestPeakLiveMonotone(t *testing.T) {
+	m := New(6)
+	a, b := mustVar(t, m, 0), mustVar(t, m, 1)
+	ab, _ := m.And(a, b)
+	_ = ab
+	p1 := m.PeakLive()
+	if p1 < m.Live() {
+		t.Errorf("PeakLive %d < Live %d", p1, m.Live())
+	}
+	m.GC()
+	if m.PeakLive() < p1 {
+		t.Errorf("PeakLive decreased across GC: %d -> %d", p1, m.PeakLive())
+	}
+}
+
+func TestRefDerefProtection(t *testing.T) {
+	m := New(4)
+	a, b := mustVar(t, m, 0), mustVar(t, m, 1)
+	f, _ := m.And(a, b)
+	m.Ref(f)
+	m.Ref(f)
+	m.Deref(f)
+	m.GC()
+	// Still one ref: must survive.
+	if !m.Eval(f, []bool{true, true}) {
+		t.Error("node with remaining ref collected")
+	}
+	m.Deref(f)
+	defer func() {
+		if recover() == nil {
+			t.Error("Deref of unreferenced node did not panic")
+		}
+	}()
+	m.Deref(f)
+}
+
+func TestRefTerminalsNoop(t *testing.T) {
+	m := New(2)
+	m.Ref(True)
+	m.Ref(False)
+	m.Deref(True)
+	m.Deref(False) // must not panic
+}
+
+// randomFormula builds the same random function in the BDD manager and
+// as an evaluable closure, driven by a seeded generator.
+func randomFormula(m *Manager, rng *rand.Rand, depth int, nvars int) (Node, func([]bool) bool, error) {
+	if depth == 0 || rng.Intn(4) == 0 {
+		lv := rng.Intn(nvars)
+		v, err := m.Var(lv)
+		return v, func(a []bool) bool { return a[lv] }, err
+	}
+	l, fl, err := randomFormula(m, rng, depth-1, nvars)
+	if err != nil {
+		return False, nil, err
+	}
+	r, fr, err := randomFormula(m, rng, depth-1, nvars)
+	if err != nil {
+		return False, nil, err
+	}
+	switch rng.Intn(4) {
+	case 0:
+		n, err := m.And(l, r)
+		return n, func(a []bool) bool { return fl(a) && fr(a) }, err
+	case 1:
+		n, err := m.Or(l, r)
+		return n, func(a []bool) bool { return fl(a) || fr(a) }, err
+	case 2:
+		n, err := m.Xor(l, r)
+		return n, func(a []bool) bool { return fl(a) != fr(a) }, err
+	default:
+		n, err := m.Not(l)
+		return n, func(a []bool) bool { return !fl(a) }, err
+	}
+}
+
+// Property: BDD evaluation agrees with direct formula evaluation on
+// every assignment, for random formulas.
+func TestQuickRandomFormulaSemantics(t *testing.T) {
+	const nvars = 5
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(nvars)
+		root, eval, err := randomFormula(m, rng, 4, nvars)
+		if err != nil {
+			return false
+		}
+		assign := make([]bool, nvars)
+		for mask := 0; mask < 1<<nvars; mask++ {
+			for i := range assign {
+				assign[i] = mask&(1<<i) != 0
+			}
+			if m.Eval(root, assign) != eval(assign) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: canonicity — two structurally different constructions of
+// the same random function always return the identical node.
+func TestQuickCanonicity(t *testing.T) {
+	const nvars = 4
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(nvars)
+		root, eval, err := randomFormula(m, rng, 4, nvars)
+		if err != nil {
+			return false
+		}
+		// Rebuild from the truth table as a sum of minterms.
+		rebuilt := False
+		assign := make([]bool, nvars)
+		for mask := 0; mask < 1<<nvars; mask++ {
+			for i := range assign {
+				assign[i] = mask&(1<<i) != 0
+			}
+			if !eval(assign) {
+				continue
+			}
+			term := True
+			for i := 0; i < nvars; i++ {
+				var lit Node
+				if assign[i] {
+					lit, err = m.Var(i)
+				} else {
+					lit, err = m.NVar(i)
+				}
+				if err != nil {
+					return false
+				}
+				term, err = m.And(term, lit)
+				if err != nil {
+					return false
+				}
+			}
+			rebuilt, err = m.Or(rebuilt, term)
+			if err != nil {
+				return false
+			}
+		}
+		return rebuilt == root
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SatFraction equals the truth-table density.
+func TestQuickSatFraction(t *testing.T) {
+	const nvars = 5
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(nvars)
+		root, eval, err := randomFormula(m, rng, 4, nvars)
+		if err != nil {
+			return false
+		}
+		count := 0
+		assign := make([]bool, nvars)
+		for mask := 0; mask < 1<<nvars; mask++ {
+			for i := range assign {
+				assign[i] = mask&(1<<i) != 0
+			}
+			if eval(assign) {
+				count++
+			}
+		}
+		want := float64(count) / float64(int(1)<<nvars)
+		return math.Abs(m.SatFraction(root)-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GC preserves referenced functions and canonicity under
+// random interleavings of construction and collection.
+func TestQuickGCPreservation(t *testing.T) {
+	const nvars = 5
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(nvars)
+		root, eval, err := randomFormula(m, rng, 5, nvars)
+		if err != nil {
+			return false
+		}
+		m.Ref(root)
+		// Garbage rounds interleaved with GC.
+		for i := 0; i < 3; i++ {
+			if _, _, err := randomFormula(m, rng, 5, nvars); err != nil {
+				return false
+			}
+			m.GC()
+		}
+		assign := make([]bool, nvars)
+		for mask := 0; mask < 1<<nvars; mask++ {
+			for i := range assign {
+				assign[i] = mask&(1<<i) != 0
+			}
+			if m.Eval(root, assign) != eval(assign) {
+				return false
+			}
+		}
+		m.Deref(root)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeXorChainSizeIsLinear(t *testing.T) {
+	// Parity of n variables has a BDD of 2n+... nodes (2 per level + 2
+	// terminals with this construction) — a classic sanity check that
+	// the unique table shares aggressively.
+	const n = 24
+	m := New(n)
+	f := False
+	for i := 0; i < n; i++ {
+		v := mustVar(t, m, i)
+		var err error
+		f, err = m.Xor(f, v)
+		if err != nil {
+			t.Fatalf("Xor: %v", err)
+		}
+	}
+	size := m.Size(f)
+	if size > 2*n+2 {
+		t.Errorf("parity BDD size = %d, want ≤ %d", size, 2*n+2)
+	}
+	if got := m.SatFraction(f); got != 0.5 {
+		t.Errorf("parity SatFraction = %v, want 0.5", got)
+	}
+}
+
+func TestManyVariablesStress(t *testing.T) {
+	// Interleaved conjunction x0∧x2∧… ∨ x1∧x3∧… exercises bucket
+	// resizing and the cache without blowing up.
+	const n = 40
+	m := New(n)
+	even, odd := True, True
+	for i := 0; i < n; i++ {
+		v := mustVar(t, m, i)
+		var err error
+		if i%2 == 0 {
+			even, err = m.And(even, v)
+		} else {
+			odd, err = m.And(odd, v)
+		}
+		if err != nil {
+			t.Fatalf("And: %v", err)
+		}
+	}
+	f, err := m.Or(even, odd)
+	if err != nil {
+		t.Fatalf("Or: %v", err)
+	}
+	all := make([]bool, n)
+	for i := range all {
+		all[i] = true
+	}
+	if !m.Eval(f, all) {
+		t.Error("f(1..1) = false, want true")
+	}
+	if m.Eval(f, make([]bool, n)) {
+		t.Error("f(0..0) = true, want false")
+	}
+}

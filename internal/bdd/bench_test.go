@@ -1,0 +1,97 @@
+package bdd
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkITEAdder measures ITE throughput on a carry chain: the
+// canonical dense-sharing workload.
+func BenchmarkITEAdder(b *testing.B) {
+	const n = 24
+	for b.Loop() {
+		m := New(2 * n)
+		carry := False
+		for i := 0; i < n; i++ {
+			x, _ := m.Var(2 * i)
+			y, _ := m.Var(2*i + 1)
+			xy, err := m.And(x, y)
+			if err != nil {
+				b.Fatal(err)
+			}
+			xOrY, _ := m.Or(x, y)
+			t, _ := m.And(xOrY, carry)
+			carry, _ = m.Or(xy, t)
+		}
+		if carry == False {
+			b.Fatal("carry collapsed")
+		}
+	}
+}
+
+// BenchmarkGC measures mark-sweep cost with a half-garbage arena.
+func BenchmarkGC(b *testing.B) {
+	const n = 18
+	build := func(m *Manager) Node {
+		f := False
+		for i := 0; i < n; i++ {
+			v, _ := m.Var(i)
+			f, _ = m.Xor(f, v)
+		}
+		return f
+	}
+	for b.Loop() {
+		m := New(n)
+		keep := m.Ref(build(m))
+		for i := 0; i < 4; i++ {
+			v, _ := m.Var(i)
+			g, _ := m.And(keep, v)
+			_ = g // garbage
+		}
+		m.GC()
+		m.Deref(keep)
+	}
+}
+
+// BenchmarkSatFraction measures the probability-style traversal.
+func BenchmarkSatFraction(b *testing.B) {
+	const n = 30
+	m := New(n)
+	f := False
+	for i := 0; i < n; i++ {
+		v, _ := m.Var(i)
+		f, _ = m.Xor(f, v)
+	}
+	b.ResetTimer()
+	for b.Loop() {
+		if got := m.SatFraction(f); got != 0.5 {
+			b.Fatalf("parity fraction %v", got)
+		}
+	}
+}
+
+// BenchmarkUniqueTableChurn exercises mk with many distinct small
+// functions (hash-table stress).
+func BenchmarkUniqueTableChurn(b *testing.B) {
+	const n = 16
+	for b.Loop() {
+		m := New(n)
+		acc := True
+		for i := 0; i+2 < n; i++ {
+			x, _ := m.Var(i)
+			y, _ := m.Var(i + 1)
+			z, _ := m.Var(i + 2)
+			t1, _ := m.ITE(x, y, z)
+			t2, _ := m.ITE(y, z, x)
+			o, err := m.Or(t1, t2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc, err = m.And(acc, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		_ = fmt.Sprint(acc == False)
+	}
+}

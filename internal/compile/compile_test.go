@@ -1,0 +1,250 @@
+package compile
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"socyield/internal/bdd"
+	"socyield/internal/logic"
+)
+
+func identityLevels(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestCompileMatchesEvalExhaustive(t *testing.T) {
+	n := logic.New()
+	a, b, c, d := n.Input("a"), n.Input("b"), n.Input("c"), n.Input("d")
+	n.SetOutput(n.Or(n.And(a, n.Not(b)), n.Xor(c, d), n.Nand(a, c)))
+	m := bdd.New(4)
+	root, err := Netlist(m, n, identityLevels(4))
+	if err != nil {
+		t.Fatalf("Netlist: %v", err)
+	}
+	defer m.Deref(root)
+	for mask := 0; mask < 16; mask++ {
+		assign := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0, mask&8 != 0}
+		want, err := n.Eval(assign)
+		if err != nil {
+			t.Fatalf("Eval: %v", err)
+		}
+		if got := m.Eval(root, assign); got != want {
+			t.Errorf("mask %04b: BDD %v, netlist %v", mask, got, want)
+		}
+	}
+}
+
+func TestCompileWithPermutedLevels(t *testing.T) {
+	// Level permutation must not change the function, only the
+	// diagram shape: Eval consumes assignments by level, so rewire.
+	n := logic.New()
+	a, b, c := n.Input("a"), n.Input("b"), n.Input("c")
+	n.SetOutput(n.Or(n.And(a, b), c))
+	levels := []int{2, 0, 1} // a→2, b→0, c→1
+	m := bdd.New(3)
+	root, err := Netlist(m, n, levels)
+	if err != nil {
+		t.Fatalf("Netlist: %v", err)
+	}
+	defer m.Deref(root)
+	for mask := 0; mask < 8; mask++ {
+		in := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0} // by ordinal
+		byLevel := make([]bool, 3)
+		for ord, lv := range levels {
+			byLevel[lv] = in[ord]
+		}
+		want, _ := n.Eval(in)
+		if got := m.Eval(root, byLevel); got != want {
+			t.Errorf("mask %03b: got %v, want %v", mask, got, want)
+		}
+	}
+}
+
+func TestCompileAllGateKinds(t *testing.T) {
+	n := logic.New()
+	a, b := n.Input("a"), n.Input("b")
+	n.SetOutput(n.Xnor(n.Nor(a, b), n.Or(n.Const(false), n.And(a, n.Const(true), b))))
+	m := bdd.New(2)
+	root, err := Netlist(m, n, identityLevels(2))
+	if err != nil {
+		t.Fatalf("Netlist: %v", err)
+	}
+	defer m.Deref(root)
+	for mask := 0; mask < 4; mask++ {
+		assign := []bool{mask&1 != 0, mask&2 != 0}
+		want, _ := n.Eval(assign)
+		if got := m.Eval(root, assign); got != want {
+			t.Errorf("mask %02b: got %v, want %v", mask, got, want)
+		}
+	}
+}
+
+func TestCompileReleasesIntermediates(t *testing.T) {
+	// Compile a long chain; after compilation and a GC with only the
+	// root referenced, the live count must be close to the root size —
+	// all intermediate gate diagrams must have been dereferenced.
+	n := logic.New()
+	const k = 16
+	acc := n.Input("x0")
+	for i := 1; i < k; i++ {
+		acc = n.Xor(acc, n.Input(fmt.Sprintf("x%d", i)))
+	}
+	n.SetOutput(acc)
+	m := bdd.New(k)
+	root, err := Netlist(m, n, identityLevels(k))
+	if err != nil {
+		t.Fatalf("Netlist: %v", err)
+	}
+	m.GC()
+	if live, size := m.Live(), m.Size(root); live != size {
+		t.Errorf("after GC live = %d, root size = %d: intermediates leaked", live, size)
+	}
+	m.Deref(root)
+	m.GC()
+	if m.Live() != 2 {
+		t.Errorf("after releasing root, live = %d, want 2 terminals", m.Live())
+	}
+}
+
+func TestCompileNodeLimitError(t *testing.T) {
+	// A dense majority-ish function over many vars with a tiny limit
+	// must fail with ErrNodeLimit and leak no references.
+	n := logic.New()
+	const k = 12
+	xs := make([]logic.GateID, k)
+	for i := range xs {
+		xs[i] = n.Input(fmt.Sprintf("x%d", i))
+	}
+	n.SetOutput(n.AtLeast(k/2, xs...))
+	m := bdd.New(k, bdd.WithNodeLimit(10))
+	_, err := Netlist(m, n, identityLevels(k))
+	if err != bdd.ErrNodeLimit {
+		t.Fatalf("err = %v, want ErrNodeLimit", err)
+	}
+	// All intermediates must have been dereferenced: a GC now must
+	// collect everything but the terminals.
+	m.GC()
+	if m.Live() != 2 {
+		t.Errorf("after failed compile + GC, live = %d, want 2", m.Live())
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	n := logic.New()
+	n.Input("a")
+	m := bdd.New(1)
+	if _, err := Netlist(m, n, identityLevels(1)); err != logic.ErrNoOutput {
+		t.Errorf("no output: err = %v", err)
+	}
+	n.SetOutput(n.Input("a"))
+	if _, err := Netlist(m, n, nil); err == nil {
+		t.Error("short levels accepted")
+	}
+}
+
+func TestCompileConstOutput(t *testing.T) {
+	n := logic.New()
+	a := n.Input("a")
+	n.SetOutput(n.Or(a, n.Not(a))) // tautology
+	m := bdd.New(1)
+	root, err := Netlist(m, n, identityLevels(1))
+	if err != nil {
+		t.Fatalf("Netlist: %v", err)
+	}
+	if root != bdd.True {
+		t.Errorf("tautology compiled to %d, want True", root)
+	}
+}
+
+// randomNetlist builds a random netlist over k inputs.
+func randomNetlist(rng *rand.Rand, k int) *logic.Netlist {
+	n := logic.New()
+	pool := make([]logic.GateID, 0, 64)
+	for i := 0; i < k; i++ {
+		pool = append(pool, n.Input(fmt.Sprintf("x%d", i)))
+	}
+	ops := 5 + rng.Intn(20)
+	for i := 0; i < ops; i++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		var g logic.GateID
+		switch rng.Intn(5) {
+		case 0:
+			g = n.And(a, b)
+		case 1:
+			g = n.Or(a, b)
+		case 2:
+			g = n.Xor(a, b)
+		case 3:
+			g = n.Not(a)
+		default:
+			g = n.Nand(a, b)
+		}
+		pool = append(pool, g)
+	}
+	n.SetOutput(pool[len(pool)-1])
+	return n
+}
+
+// Property: compiled BDD agrees with netlist evaluation on every
+// assignment for random netlists and random level permutations.
+func TestQuickCompileSemantics(t *testing.T) {
+	const k = 5
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomNetlist(rng, k)
+		levels := rng.Perm(k)
+		m := bdd.New(k)
+		root, err := Netlist(m, n, levels)
+		if err != nil {
+			return false
+		}
+		for mask := 0; mask < 1<<k; mask++ {
+			in := make([]bool, k)
+			byLevel := make([]bool, k)
+			for i := 0; i < k; i++ {
+				in[i] = mask&(1<<i) != 0
+				byLevel[levels[i]] = in[i]
+			}
+			want, err := n.Eval(in)
+			if err != nil {
+				return false
+			}
+			if m.Eval(root, byLevel) != want {
+				return false
+			}
+		}
+		m.Deref(root)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no reference leaks — after Deref of the root and GC, only
+// terminals remain, whatever the netlist.
+func TestQuickCompileNoLeaks(t *testing.T) {
+	const k = 5
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomNetlist(rng, k)
+		m := bdd.New(k)
+		root, err := Netlist(m, n, identityLevels(k))
+		if err != nil {
+			return false
+		}
+		m.Deref(root)
+		m.GC()
+		return m.Live() == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

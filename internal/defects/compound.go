@@ -1,0 +1,132 @@
+package defects
+
+import (
+	"fmt"
+	"math"
+)
+
+// CompoundPoisson is the general defect-clustering family the paper's
+// model is consistent with: clusters arrive as a Poisson process with
+// rate Rate, and each cluster independently contains a random number
+// of defects drawn from ClusterSize (a distribution on {0, 1, 2, …}).
+// The negative binomial is the special case of logarithmic cluster
+// sizes; Poisson is the case of constant cluster size 1.
+//
+// Thinning closure (the property the paper relies on): keeping each
+// defect independently with probability p yields another compound
+// Poisson whose cluster-size distribution is the binomial thinning of
+// ClusterSize — implemented here numerically, with the cluster rate
+// adjusted for clusters that lose all their defects.
+type CompoundPoisson struct {
+	// Rate is the expected number of defect clusters, > 0.
+	Rate float64
+	// ClusterSize is the distribution of defects per cluster.
+	ClusterSize Distribution
+	// maxTerms bounds the Poisson mixture expansion (default 512).
+	maxTerms int
+}
+
+// NewCompoundPoisson validates the parameters.
+func NewCompoundPoisson(rate float64, clusterSize Distribution) (CompoundPoisson, error) {
+	if !(rate > 0) || math.IsInf(rate, 0) {
+		return CompoundPoisson{}, fmt.Errorf("%w: compound Poisson rate = %v, need > 0", ErrBadParam, rate)
+	}
+	if clusterSize == nil {
+		return CompoundPoisson{}, fmt.Errorf("%w: compound Poisson needs a cluster-size distribution", ErrBadParam)
+	}
+	return CompoundPoisson{Rate: rate, ClusterSize: clusterSize}, nil
+}
+
+func (d CompoundPoisson) terms() int {
+	if d.maxTerms > 0 {
+		return d.maxTerms
+	}
+	return 512
+}
+
+// PMF evaluates P(total defects = k) by conditioning on the number of
+// clusters n ~ Poisson(Rate) and convolving n copies of ClusterSize.
+// The n-fold convolutions are built incrementally up to the point
+// where the Poisson weight becomes negligible.
+func (d CompoundPoisson) PMF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	// conv[j] = P(sum of n cluster sizes = j) for the current n,
+	// truncated at k (larger sums cannot contribute to PMF(k)).
+	base := make([]float64, k+1)
+	for j := 0; j <= k; j++ {
+		base[j] = d.ClusterSize.PMF(j)
+	}
+	conv := make([]float64, k+1)
+	conv[0] = 1 // n = 0 clusters
+	total := math.Exp(-d.Rate) * conv[k]
+	poisW := math.Exp(-d.Rate)
+	next := make([]float64, k+1)
+	for n := 1; n <= d.terms(); n++ {
+		poisW *= d.Rate / float64(n)
+		for j := 0; j <= k; j++ {
+			s := 0.0
+			for i := 0; i <= j; i++ {
+				if conv[i] != 0 && base[j-i] != 0 {
+					s += conv[i] * base[j-i]
+				}
+			}
+			next[j] = s
+		}
+		conv, next = next, conv
+		total += poisW * conv[k]
+		if poisW < 1e-18 && float64(n) > d.Rate {
+			break
+		}
+	}
+	return total
+}
+
+// Mean returns Rate · E[ClusterSize].
+func (d CompoundPoisson) Mean() float64 {
+	return d.Rate * d.ClusterSize.Mean()
+}
+
+// Thin applies the thinning closure: clusters keep their Poisson
+// arrivals, each cluster's size is binomially thinned.
+func (d CompoundPoisson) Thin(p float64) Distribution {
+	thinned := numericThinned{base: d.ClusterSize, p: p, covTol: 1e-12, maxM: 100000}
+	return CompoundPoisson{Rate: d.Rate, ClusterSize: thinned, maxTerms: d.maxTerms}
+}
+
+func (d CompoundPoisson) String() string {
+	return fmt.Sprintf("CompoundPoisson(rate=%g, cluster=%v)", d.Rate, d.ClusterSize)
+}
+
+// Logarithmic is the logarithmic series distribution on {1, 2, …},
+// the cluster-size law that makes a compound Poisson exactly negative
+// binomial: CompoundPoisson(α·ln(1+λ/α), Logarithmic(θ)) with
+// θ = (λ/α)/(1+λ/α) equals NegativeBinomial(λ, α).
+type Logarithmic struct {
+	// Theta ∈ (0,1) is the series parameter.
+	Theta float64
+}
+
+// NewLogarithmic validates the parameter.
+func NewLogarithmic(theta float64) (Logarithmic, error) {
+	if !(theta > 0 && theta < 1) {
+		return Logarithmic{}, fmt.Errorf("%w: logarithmic theta = %v outside (0,1)", ErrBadParam, theta)
+	}
+	return Logarithmic{Theta: theta}, nil
+}
+
+// PMF returns −θ^k / (k·ln(1−θ)) for k ≥ 1.
+func (d Logarithmic) PMF(k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	return -math.Pow(d.Theta, float64(k)) / (float64(k) * math.Log(1-d.Theta))
+}
+
+// Mean returns −θ / ((1−θ)·ln(1−θ)).
+func (d Logarithmic) Mean() float64 {
+	return -d.Theta / ((1 - d.Theta) * math.Log(1-d.Theta))
+}
+
+func (d Logarithmic) String() string { return fmt.Sprintf("Logarithmic(θ=%g)", d.Theta) }

@@ -1,0 +1,163 @@
+package defects
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogarithmicBasics(t *testing.T) {
+	d, err := NewLogarithmic(0.6)
+	if err != nil {
+		t.Fatalf("NewLogarithmic: %v", err)
+	}
+	if d.PMF(0) != 0 {
+		t.Error("PMF(0) != 0")
+	}
+	// PMF(1) = -θ/ln(1-θ).
+	want := -0.6 / math.Log(0.4)
+	if got := d.PMF(1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PMF(1) = %v, want %v", got, want)
+	}
+	if s := pmfSum(d, 500); math.Abs(s-1) > 1e-12 {
+		t.Errorf("sum = %v", s)
+	}
+	if m := pmfMean(d, 500); math.Abs(m-d.Mean()) > 1e-9 {
+		t.Errorf("empirical mean %v vs Mean() %v", m, d.Mean())
+	}
+	for _, th := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewLogarithmic(th); !errors.Is(err, ErrBadParam) {
+			t.Errorf("theta=%v accepted", th)
+		}
+	}
+}
+
+// TestCompoundPoissonEqualsNegativeBinomial checks the classical
+// identity the paper's model family rests on: Poisson-many logarithmic
+// clusters form a negative binomial.
+func TestCompoundPoissonEqualsNegativeBinomial(t *testing.T) {
+	lambda, alpha := 2.0, 0.5
+	r := lambda / alpha
+	theta := r / (1 + r)
+	logd, err := NewLogarithmic(theta)
+	if err != nil {
+		t.Fatalf("NewLogarithmic: %v", err)
+	}
+	cp, err := NewCompoundPoisson(alpha*math.Log(1+r), logd)
+	if err != nil {
+		t.Fatalf("NewCompoundPoisson: %v", err)
+	}
+	nb, _ := NewNegativeBinomial(lambda, alpha)
+	for k := 0; k < 30; k++ {
+		if diff := math.Abs(cp.PMF(k) - nb.PMF(k)); diff > 1e-10 {
+			t.Errorf("k=%d: compound %v vs NB %v", k, cp.PMF(k), nb.PMF(k))
+		}
+	}
+	if math.Abs(cp.Mean()-lambda) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", cp.Mean(), lambda)
+	}
+}
+
+func TestCompoundPoissonConstantClusters(t *testing.T) {
+	// Clusters of exactly 1 defect: plain Poisson.
+	cp, err := NewCompoundPoisson(1.5, Deterministic{N: 1})
+	if err != nil {
+		t.Fatalf("NewCompoundPoisson: %v", err)
+	}
+	pois := Poisson{Lambda: 1.5}
+	for k := 0; k < 20; k++ {
+		if diff := math.Abs(cp.PMF(k) - pois.PMF(k)); diff > 1e-12 {
+			t.Errorf("k=%d: %v vs %v", k, cp.PMF(k), pois.PMF(k))
+		}
+	}
+	// Clusters of exactly 2: only even counts.
+	cp2, _ := NewCompoundPoisson(1, Deterministic{N: 2})
+	if cp2.PMF(3) > 1e-15 {
+		t.Errorf("odd count with size-2 clusters: %v", cp2.PMF(3))
+	}
+	if cp2.PMF(2) <= 0 {
+		t.Error("PMF(2) = 0")
+	}
+	if math.Abs(cp2.Mean()-2) > 1e-9 {
+		t.Errorf("Mean = %v, want 2", cp2.Mean())
+	}
+}
+
+func TestCompoundPoissonValidation(t *testing.T) {
+	if _, err := NewCompoundPoisson(0, Deterministic{N: 1}); !errors.Is(err, ErrBadParam) {
+		t.Error("rate 0 accepted")
+	}
+	if _, err := NewCompoundPoisson(1, nil); !errors.Is(err, ErrBadParam) {
+		t.Error("nil cluster size accepted")
+	}
+	cp, _ := NewCompoundPoisson(1, Deterministic{N: 1})
+	if cp.PMF(-1) != 0 {
+		t.Error("PMF(-1) != 0")
+	}
+}
+
+// TestCompoundPoissonThinningClosure: thinning a compound Poisson must
+// equal the numerically thinned total-count distribution — verified
+// against the NB closed form through the logarithmic representation.
+func TestCompoundPoissonThinningClosure(t *testing.T) {
+	lambda, alpha, p := 2.0, 1.0, 0.5
+	r := lambda / alpha
+	logd, _ := NewLogarithmic(r / (1 + r))
+	cp, _ := NewCompoundPoisson(alpha*math.Log(1+r), logd)
+	thinned, err := Thin(cp, p)
+	if err != nil {
+		t.Fatalf("Thin: %v", err)
+	}
+	nbThinned := NegativeBinomial{Lambda: p * lambda, Alpha: alpha}
+	for k := 0; k < 20; k++ {
+		if diff := math.Abs(thinned.PMF(k) - nbThinned.PMF(k)); diff > 1e-8 {
+			t.Errorf("k=%d: thinned compound %v vs thinned NB %v", k, thinned.PMF(k), nbThinned.PMF(k))
+		}
+	}
+	if math.Abs(thinned.Mean()-p*lambda) > 1e-6 {
+		t.Errorf("thinned mean = %v, want %v", thinned.Mean(), p*lambda)
+	}
+}
+
+// Property: compound Poisson PMFs are proper distributions for random
+// parameters.
+func TestQuickCompoundPoissonProper(t *testing.T) {
+	f := func(r8, t8 uint8) bool {
+		rate := 0.2 + 2*float64(r8)/255
+		theta := 0.05 + 0.6*float64(t8)/255
+		logd, err := NewLogarithmic(theta)
+		if err != nil {
+			return false
+		}
+		cp, err := NewCompoundPoisson(rate, logd)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for k := 0; k < 80; k++ {
+			p := cp.PMF(k)
+			if p < -1e-15 {
+				return false
+			}
+			sum += p
+		}
+		return sum > 0.995 && sum < 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompoundPoissonUsableInEvaluate(t *testing.T) {
+	// The truncation machinery must accept it end to end.
+	logd, _ := NewLogarithmic(0.5)
+	cp, _ := NewCompoundPoisson(1, logd)
+	m, tail, err := TruncationPoint(cp, 1e-3)
+	if err != nil {
+		t.Fatalf("TruncationPoint: %v", err)
+	}
+	if m <= 0 || tail > 1e-3 {
+		t.Errorf("M=%d tail=%v", m, tail)
+	}
+}

@@ -1,0 +1,339 @@
+package defects
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func pmfSum(d Distribution, upTo int) float64 {
+	s := 0.0
+	for k := 0; k <= upTo; k++ {
+		s += d.PMF(k)
+	}
+	return s
+}
+
+func pmfMean(d Distribution, upTo int) float64 {
+	s := 0.0
+	for k := 0; k <= upTo; k++ {
+		s += float64(k) * d.PMF(k)
+	}
+	return s
+}
+
+func TestNegativeBinomialPMF(t *testing.T) {
+	d, err := NewNegativeBinomial(2, 0.25)
+	if err != nil {
+		t.Fatalf("NewNegativeBinomial: %v", err)
+	}
+	// Q_0 = (1+λ/α)^-α = 9^-0.25.
+	want := math.Pow(9, -0.25)
+	if got := d.PMF(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PMF(0) = %v, want %v", got, want)
+	}
+	// Q_1 = α·(λ/α)/(1+λ/α)^(α+1) = 0.25·8/9^1.25.
+	want1 := 0.25 * 8 / math.Pow(9, 1.25)
+	if got := d.PMF(1); math.Abs(got-want1) > 1e-12 {
+		t.Errorf("PMF(1) = %v, want %v", got, want1)
+	}
+	if d.PMF(-1) != 0 {
+		t.Error("PMF(-1) != 0")
+	}
+	if s := pmfSum(d, 5000); math.Abs(s-1) > 1e-9 {
+		t.Errorf("PMF does not sum to 1: %v", s)
+	}
+	if m := pmfMean(d, 5000); math.Abs(m-2) > 1e-6 {
+		t.Errorf("empirical mean = %v, want 2", m)
+	}
+}
+
+func TestNegativeBinomialValidation(t *testing.T) {
+	cases := []struct{ lambda, alpha float64 }{
+		{0, 1}, {-1, 1}, {1, 0}, {1, -2}, {math.Inf(1), 1}, {1, math.Inf(1)}, {math.NaN(), 1},
+	}
+	for _, c := range cases {
+		if _, err := NewNegativeBinomial(c.lambda, c.alpha); !errors.Is(err, ErrBadParam) {
+			t.Errorf("NewNegativeBinomial(%v,%v): err = %v, want ErrBadParam", c.lambda, c.alpha, err)
+		}
+	}
+}
+
+func TestPoissonPMF(t *testing.T) {
+	d, err := NewPoisson(1.5)
+	if err != nil {
+		t.Fatalf("NewPoisson: %v", err)
+	}
+	if got, want := d.PMF(0), math.Exp(-1.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PMF(0) = %v, want %v", got, want)
+	}
+	if got, want := d.PMF(2), math.Exp(-1.5)*1.5*1.5/2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("PMF(2) = %v, want %v", got, want)
+	}
+	if s := pmfSum(d, 200); math.Abs(s-1) > 1e-12 {
+		t.Errorf("sum = %v", s)
+	}
+	if _, err := NewPoisson(0); !errors.Is(err, ErrBadParam) {
+		t.Error("NewPoisson(0) accepted")
+	}
+}
+
+func TestGeometricMatchesNB1(t *testing.T) {
+	g := Geometric{Lambda: 1.7}
+	nb := NegativeBinomial{Lambda: 1.7, Alpha: 1}
+	for k := 0; k < 40; k++ {
+		if math.Abs(g.PMF(k)-nb.PMF(k)) > 1e-12 {
+			t.Errorf("geometric(%d) = %v, NB(α=1) = %v", k, g.PMF(k), nb.PMF(k))
+		}
+	}
+	if s := pmfSum(g, 2000); math.Abs(s-1) > 1e-9 {
+		t.Errorf("sum = %v", s)
+	}
+}
+
+func TestDeterministicAndBinomial(t *testing.T) {
+	d := Deterministic{N: 3}
+	if d.PMF(3) != 1 || d.PMF(2) != 0 || d.Mean() != 3 {
+		t.Error("deterministic pmf/mean wrong")
+	}
+	th, err := Thin(d, 0.5)
+	if err != nil {
+		t.Fatalf("Thin: %v", err)
+	}
+	b, ok := th.(Binomial)
+	if !ok {
+		t.Fatalf("Thin(Deterministic) = %T, want Binomial", th)
+	}
+	if b.Mean() != 1.5 {
+		t.Errorf("Binomial mean = %v, want 1.5", b.Mean())
+	}
+	// Binomial(3, 0.5): PMF(k) = C(3,k)/8.
+	wants := []float64{1.0 / 8, 3.0 / 8, 3.0 / 8, 1.0 / 8}
+	for k, w := range wants {
+		if got := b.PMF(k); math.Abs(got-w) > 1e-12 {
+			t.Errorf("Binomial PMF(%d) = %v, want %v", k, got, w)
+		}
+	}
+	if b.PMF(4) != 0 || b.PMF(-1) != 0 {
+		t.Error("Binomial out-of-support PMF != 0")
+	}
+	// Composition of thinnings.
+	th2, _ := Thin(th, 0.5)
+	if got := th2.(Binomial).P; got != 0.25 {
+		t.Errorf("composed thinning P = %v, want 0.25", got)
+	}
+}
+
+func TestThinClosedForms(t *testing.T) {
+	nb, _ := NewNegativeBinomial(4, 0.25)
+	th, err := Thin(nb, 0.5)
+	if err != nil {
+		t.Fatalf("Thin: %v", err)
+	}
+	got, ok := th.(NegativeBinomial)
+	if !ok {
+		t.Fatalf("Thin(NB) = %T, want NegativeBinomial", th)
+	}
+	if got.Lambda != 2 || got.Alpha != 0.25 {
+		t.Errorf("thinned NB = %+v, want λ=2 α=0.25", got)
+	}
+	p, _ := NewPoisson(3)
+	tp, _ := Thin(p, 1.0/3)
+	if got := tp.(Poisson).Lambda; math.Abs(got-1) > 1e-15 {
+		t.Errorf("thinned Poisson λ = %v, want 1", got)
+	}
+}
+
+func TestThinValidation(t *testing.T) {
+	nb, _ := NewNegativeBinomial(1, 1)
+	for _, p := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if _, err := Thin(nb, p); !errors.Is(err, ErrBadParam) {
+			t.Errorf("Thin(p=%v): err = %v, want ErrBadParam", p, err)
+		}
+	}
+	th, err := Thin(nb, 1)
+	if err != nil || th != Distribution(nb) {
+		t.Errorf("Thin(p=1) should be identity, got %v, %v", th, err)
+	}
+}
+
+// plainDist hides the Thinner implementation to exercise the numeric
+// thinning path of equation (1).
+type plainDist struct{ d Distribution }
+
+func (p plainDist) PMF(k int) float64 { return p.d.PMF(k) }
+func (p plainDist) Mean() float64     { return p.d.Mean() }
+func (p plainDist) String() string    { return "plain(" + p.d.String() + ")" }
+
+func TestNumericThinningMatchesClosedForm(t *testing.T) {
+	// Thinning an NB numerically must agree with the closed form —
+	// this is precisely the consistency statement of equation (1) and
+	// the Koren–Koren–Stapper result the paper invokes.
+	for _, alpha := range []float64{0.25, 1, 4} {
+		for _, pL := range []float64{0.1, 0.5, 0.9} {
+			nb, _ := NewNegativeBinomial(2, alpha)
+			closed, _ := Thin(nb, pL)
+			numeric, err := Thin(plainDist{nb}, pL)
+			if err != nil {
+				t.Fatalf("Thin: %v", err)
+			}
+			for k := 0; k < 25; k++ {
+				c, n := closed.PMF(k), numeric.PMF(k)
+				if math.Abs(c-n) > 1e-9 {
+					t.Errorf("α=%v pL=%v k=%d: closed %v vs numeric %v", alpha, pL, k, c, n)
+				}
+			}
+			if math.Abs(numeric.Mean()-pL*2) > 1e-12 {
+				t.Errorf("numeric mean = %v, want %v", numeric.Mean(), pL*2)
+			}
+		}
+	}
+}
+
+func TestTruncationPoint(t *testing.T) {
+	p, _ := NewPoisson(1)
+	m, tail, err := TruncationPoint(p, 1e-4)
+	if err != nil {
+		t.Fatalf("TruncationPoint: %v", err)
+	}
+	// Poisson(1): Σ_{k≤5} ≈ 0.999406 < 1-1e-4, Σ_{k≤6} ≈ 0.999917 ≥.
+	if m != 6 {
+		t.Errorf("M = %d, want 6", m)
+	}
+	if tail <= 0 || tail > 1e-4 {
+		t.Errorf("tail = %v, want in (0, 1e-4]", tail)
+	}
+	// M is minimal: removing a term must violate the requirement.
+	if got := pmfSum(p, m-1); got >= 1-1e-4 {
+		t.Errorf("M not minimal: Σ_{k≤%d} = %v", m-1, got)
+	}
+	for _, eps := range []float64{0, 1, -0.1, math.NaN()} {
+		if _, _, err := TruncationPoint(p, eps); !errors.Is(err, ErrBadParam) {
+			t.Errorf("eps=%v: err = %v, want ErrBadParam", eps, err)
+		}
+	}
+}
+
+// TestPaperTruncationCalibration pins the reproduction constants: with
+// α = 2 and ε = 5e-3, λ′ = 1 gives M = 6 and λ′ = 2 gives M = 10 —
+// the truncation points Section 4 of the paper reports.
+func TestPaperTruncationCalibration(t *testing.T) {
+	for _, tc := range []struct {
+		lambdaPrime float64
+		wantM       int
+	}{{1, 6}, {2, 10}} {
+		nb, _ := NewNegativeBinomial(tc.lambdaPrime, 2)
+		m, tail, err := TruncationPoint(nb, 5e-3)
+		if err != nil {
+			t.Fatalf("TruncationPoint: %v", err)
+		}
+		if m != tc.wantM {
+			t.Errorf("λ'=%v: M = %d, want %d", tc.lambdaPrime, m, tc.wantM)
+		}
+		if tail > 5e-3 {
+			t.Errorf("λ'=%v: tail %v exceeds ε", tc.lambdaPrime, tail)
+		}
+	}
+}
+
+func TestPMFTable(t *testing.T) {
+	p, _ := NewPoisson(1)
+	pmf, tail, err := PMFTable(p, 3)
+	if err != nil {
+		t.Fatalf("PMFTable: %v", err)
+	}
+	if len(pmf) != 4 {
+		t.Fatalf("len = %d, want 4", len(pmf))
+	}
+	sum := tail
+	for _, q := range pmf {
+		sum += q
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("pmf+tail = %v, want 1", sum)
+	}
+	if _, _, err := PMFTable(p, -1); !errors.Is(err, ErrBadParam) {
+		t.Error("negative M accepted")
+	}
+}
+
+func TestHeavyTailTruncationFails(t *testing.T) {
+	// An extremely clustered NB cannot be truncated at tiny eps within
+	// the bound... actually NB always has geometric-ish tails, so use
+	// eps below achievable precision instead.
+	nb, _ := NewNegativeBinomial(10000, 0.01)
+	if _, _, err := TruncationPoint(nb, 1e-300); !errors.Is(err, ErrNoTruncation) {
+		t.Errorf("want ErrNoTruncation, got %v", err)
+	}
+}
+
+// Property: thinning preserves total mass and scales the mean by p for
+// random NB parameters.
+func TestQuickThinningInvariants(t *testing.T) {
+	f := func(l8, a8, p8 uint8) bool {
+		lambda := 0.1 + float64(l8%40)/10 // 0.1 .. 4.0
+		alpha := 0.25 + float64(a8%16)/4  // 0.25 .. 4.0
+		p := 0.05 + 0.9*float64(p8)/255   // 0.05 .. 0.95
+		nb, err := NewNegativeBinomial(lambda, alpha)
+		if err != nil {
+			return false
+		}
+		th, err := Thin(nb, p)
+		if err != nil {
+			return false
+		}
+		if math.Abs(th.Mean()-p*lambda) > 1e-12 {
+			return false
+		}
+		return math.Abs(pmfSum(th, 4000)-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the truncation point is minimal and its tail honours eps.
+func TestQuickTruncationMinimality(t *testing.T) {
+	f := func(l8, e8 uint8) bool {
+		lambda := 0.2 + float64(l8%30)/10
+		eps := math.Pow(10, -1-float64(e8%5)) // 1e-1 .. 1e-5
+		nb, err := NewNegativeBinomial(lambda, 2)
+		if err != nil {
+			return false
+		}
+		m, tail, err := TruncationPoint(nb, eps)
+		if err != nil {
+			return false
+		}
+		if tail > eps {
+			return false
+		}
+		if m > 0 && pmfSum(nb, m-1) >= 1-eps {
+			return false // not minimal
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	nb, _ := NewNegativeBinomial(2, 0.25)
+	for _, s := range []string{
+		nb.String(),
+		Poisson{Lambda: 1}.String(),
+		Geometric{Lambda: 1}.String(),
+		Deterministic{N: 2}.String(),
+		Binomial{N: 2, P: 0.5}.String(),
+	} {
+		if s == "" {
+			t.Error("empty String()")
+		}
+	}
+	th, _ := Thin(plainDist{nb}, 0.5)
+	if th.String() == "" {
+		t.Error("numericThinned String empty")
+	}
+}

@@ -1,0 +1,256 @@
+package encode
+
+import (
+	"fmt"
+	"testing"
+
+	"socyield/internal/logic"
+)
+
+// tinyFaultTree returns F(x1,x2,x3) = x1·x2 + x3, the fault tree of
+// the paper's Figure 2 example.
+func tinyFaultTree() *logic.Netlist {
+	f := logic.New()
+	x1, x2, x3 := f.Input("x1"), f.Input("x2"), f.Input("x3")
+	f.SetOutput(f.Or(f.And(x1, x2), x3))
+	return f
+}
+
+// refG evaluates the defining equation (3) of the paper directly:
+// G = [w ≥ M+1] ∨ F(x_1..x_C) with x_i = ⋁_{l=1..M} [w ≥ l][v_l = i].
+func refG(f *logic.Netlist, c, m int, w int, v []int) (bool, error) {
+	if w >= m+1 {
+		return true, nil
+	}
+	xs := make([]bool, c)
+	for i := 0; i < c; i++ {
+		for l := 1; l <= m; l++ {
+			if w >= l && v[l-1] == i {
+				xs[i] = true
+			}
+		}
+	}
+	return f.Eval(xs)
+}
+
+func forAllMV(c, m int, fn func(w int, v []int)) {
+	v := make([]int, m)
+	var rec func(l int)
+	for w := 0; w <= m+1; w++ {
+		rec = func(l int) {
+			if l == m {
+				fn(w, v)
+				return
+			}
+			for val := 0; val < c; val++ {
+				v[l] = val
+				rec(l + 1)
+			}
+		}
+		rec(0)
+	}
+}
+
+func TestBuildGStructure(t *testing.T) {
+	f := tinyFaultTree()
+	g, err := BuildG(f, 2)
+	if err != nil {
+		t.Fatalf("BuildG: %v", err)
+	}
+	if g.C != 3 || g.M != 2 {
+		t.Fatalf("C,M = %d,%d, want 3,2", g.C, g.M)
+	}
+	// M+1 = 3 needs 2 bits; C-1 = 2 needs 2 bits.
+	if g.WBits != 2 || g.VBits != 2 {
+		t.Errorf("WBits,VBits = %d,%d, want 2,2", g.WBits, g.VBits)
+	}
+	if len(g.Groups) != 3 {
+		t.Fatalf("groups = %d, want 3 (w, v1, v2)", len(g.Groups))
+	}
+	if g.Groups[0].Name != "w" || g.Groups[1].Name != "v1" || g.Groups[2].Name != "v2" {
+		t.Errorf("group names = %v %v %v", g.Groups[0].Name, g.Groups[1].Name, g.Groups[2].Name)
+	}
+	for _, grp := range g.Groups {
+		if len(grp.Bits) != 2 {
+			t.Errorf("group %s has %d bits, want 2", grp.Name, len(grp.Bits))
+		}
+	}
+	doms := g.Domains()
+	if len(doms) != 3 || doms[0] != 4 || doms[1] != 3 || doms[2] != 3 {
+		t.Errorf("Domains = %v, want [4 3 3]", doms)
+	}
+	if g.Netlist.NumInputs() != 6 {
+		t.Errorf("G inputs = %d, want 6", g.Netlist.NumInputs())
+	}
+	// Group bits must be MSB first: w.1 before w.0.
+	names := g.Netlist.InputNames()
+	if names[g.Groups[0].Bits[0]] != "w.1" || names[g.Groups[0].Bits[1]] != "w.0" {
+		t.Errorf("w group bits = %s,%s, want w.1,w.0",
+			names[g.Groups[0].Bits[0]], names[g.Groups[0].Bits[1]])
+	}
+}
+
+func TestBuildGSemanticsExhaustive(t *testing.T) {
+	for _, tc := range []struct{ c, m int }{{3, 2}, {2, 1}, {4, 2}, {3, 0}, {5, 3}} {
+		t.Run(fmt.Sprintf("C%dM%d", tc.c, tc.m), func(t *testing.T) {
+			// F = at-least-2-failed over c components (arbitrary
+			// nontrivial monotone function).
+			f := logic.New()
+			xs := make([]logic.GateID, tc.c)
+			for i := range xs {
+				xs[i] = f.Input(fmt.Sprintf("x%d", i+1))
+			}
+			f.SetOutput(f.AtLeast(2, xs...))
+			g, err := BuildG(f, tc.m)
+			if err != nil {
+				t.Fatalf("BuildG: %v", err)
+			}
+			checked := 0
+			forAllMV(tc.c, tc.m, func(w int, v []int) {
+				mv := append([]int{w}, v...)
+				assign, err := g.DecodeAssignment(mv)
+				if err != nil {
+					t.Fatalf("DecodeAssignment(%v): %v", mv, err)
+				}
+				got, err := g.Netlist.Eval(assign)
+				if err != nil {
+					t.Fatalf("Eval: %v", err)
+				}
+				want, err := refG(f, tc.c, tc.m, w, v)
+				if err != nil {
+					t.Fatalf("refG: %v", err)
+				}
+				if got != want {
+					t.Fatalf("G(w=%d, v=%v) = %v, want %v", w, v, got, want)
+				}
+				checked++
+			})
+			if want := (tc.m + 2) * pow(tc.c, tc.m); checked != want {
+				t.Fatalf("checked %d assignments, want %d", checked, want)
+			}
+		})
+	}
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+func TestBuildGFig2Example(t *testing.T) {
+	// The Figure 2 system: F = x1·x2 + x3 with M = 2. Spot-check the
+	// cases the paper narrates: the system is "not functioning" when
+	// component 3 is hit, or when both 1 and 2 are hit, or when more
+	// than M defects occur.
+	g, err := BuildG(tinyFaultTree(), 2)
+	if err != nil {
+		t.Fatalf("BuildG: %v", err)
+	}
+	eval := func(w int, v ...int) bool {
+		assign, err := g.DecodeAssignment(append([]int{w}, v...))
+		if err != nil {
+			t.Fatalf("DecodeAssignment: %v", err)
+		}
+		got, err := g.Netlist.Eval(assign)
+		if err != nil {
+			t.Fatalf("Eval: %v", err)
+		}
+		return got
+	}
+	if eval(0, 0, 0) {
+		t.Error("no defects: G must be 0")
+	}
+	if !eval(3, 0, 0) {
+		t.Error("w = M+1: G must be 1 regardless of v")
+	}
+	if !eval(1, 2, 0) {
+		t.Error("one defect on component 3: G must be 1")
+	}
+	if eval(1, 0, 2) {
+		t.Error("one defect on component 1 (second v ignored at w=1): G must be 0")
+	}
+	if !eval(2, 0, 1) {
+		t.Error("defects on components 1 and 2: G must be 1")
+	}
+	if eval(2, 0, 0) {
+		t.Error("both defects on component 1: G must be 0")
+	}
+}
+
+func TestBuildGErrors(t *testing.T) {
+	one := logic.New()
+	one.SetOutput(one.Input("x1"))
+	if _, err := BuildG(one, 2); err == nil {
+		t.Error("single-component fault tree accepted")
+	}
+	f := tinyFaultTree()
+	if _, err := BuildG(f, -1); err == nil {
+		t.Error("negative M accepted")
+	}
+	noOut := logic.New()
+	noOut.Input("x1")
+	noOut.Input("x2")
+	if _, err := BuildG(noOut, 1); err == nil {
+		t.Error("output-less fault tree accepted")
+	}
+}
+
+func TestDecodeAssignmentValidation(t *testing.T) {
+	g, err := BuildG(tinyFaultTree(), 2)
+	if err != nil {
+		t.Fatalf("BuildG: %v", err)
+	}
+	if _, err := g.DecodeAssignment([]int{0}); err == nil {
+		t.Error("short MV assignment accepted")
+	}
+	if _, err := g.DecodeAssignment([]int{4, 0, 0}); err == nil {
+		t.Error("w out of range accepted")
+	}
+	if _, err := g.DecodeAssignment([]int{0, 3, 0}); err == nil {
+		t.Error("v out of domain accepted")
+	}
+	if _, err := g.DecodeAssignment([]int{0, -1, 0}); err == nil {
+		t.Error("negative v accepted")
+	}
+}
+
+func TestBuildGZeroTruncation(t *testing.T) {
+	// M = 0: no v variables; G = [w ≥ 1] ∨ F(0,…,0).
+	f := tinyFaultTree() // F(0,0,0) = 0
+	g, err := BuildG(f, 0)
+	if err != nil {
+		t.Fatalf("BuildG: %v", err)
+	}
+	if len(g.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(g.Groups))
+	}
+	a0, _ := g.DecodeAssignment([]int{0})
+	if got, _ := g.Netlist.Eval(a0); got {
+		t.Error("G(w=0) = 1, want 0")
+	}
+	a1, _ := g.DecodeAssignment([]int{1})
+	if got, _ := g.Netlist.Eval(a1); !got {
+		t.Error("G(w=1) = 0, want 1")
+	}
+}
+
+func TestBuildGGateCountReasonable(t *testing.T) {
+	// The synthesized G must stay linear in C·M.
+	f := logic.New()
+	const c = 10
+	xs := make([]logic.GateID, c)
+	for i := range xs {
+		xs[i] = f.Input(fmt.Sprintf("x%d", i+1))
+	}
+	f.SetOutput(f.Or(xs...))
+	g, err := BuildG(f, 4)
+	if err != nil {
+		t.Fatalf("BuildG: %v", err)
+	}
+	if gates := g.Netlist.NumGates(); gates > 40*c*5 {
+		t.Errorf("G has %d gates for C=%d M=4 — synthesis exploded", gates, c)
+	}
+}

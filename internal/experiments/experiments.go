@@ -1,0 +1,504 @@
+// Package experiments regenerates the evaluation artifacts of the
+// paper: Table 1 (benchmark inventory), Table 2 (ROMDD size under the
+// seven multiple-valued orderings), Table 3 (coded-ROBDD size under the
+// bit-group orderings), Table 4 (end-to-end performance of the chosen
+// heuristics), the Figure 2 worked example, plus the reproduction-only
+// ablations (direct-MDD construction, Monte-Carlo baseline).
+//
+// The paper's own numbers are embedded so every regenerated table
+// prints measured-vs-paper side by side; EXPERIMENTS.md is the frozen
+// record of one full run.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"socyield/internal/benchmarks"
+	"socyield/internal/defects"
+	"socyield/internal/montecarlo"
+	"socyield/internal/order"
+	"socyield/internal/yield"
+)
+
+// Case identifies one experimental row: a benchmark at a lethal-defect
+// intensity λ′ ∈ {1, 2}.
+type Case struct {
+	Benchmark   string
+	LambdaPrime int
+}
+
+// String returns the paper's row label, e.g. "MS4, λ'=2".
+func (c Case) String() string { return fmt.Sprintf("%s, λ'=%d", c.Benchmark, c.LambdaPrime) }
+
+// PaperCases returns the fifteen rows of Tables 2–4 in the paper's
+// order.
+func PaperCases() []Case {
+	return []Case{
+		{"MS2", 1}, {"MS4", 1}, {"MS6", 1}, {"MS8", 1}, {"MS10", 1},
+		{"MS2", 2}, {"MS4", 2},
+		{"ESEN4x1", 1}, {"ESEN4x2", 1}, {"ESEN4x4", 1}, {"ESEN8x1", 1}, {"ESEN8x2", 1},
+		{"ESEN4x1", 2}, {"ESEN4x2", 2}, {"ESEN4x4", 2},
+	}
+}
+
+// QuickCases returns the subset of rows that complete in seconds,
+// for iterative runs and the Go benchmarks.
+func QuickCases() []Case {
+	return []Case{
+		{"MS2", 1}, {"MS4", 1}, {"MS2", 2},
+		{"ESEN4x1", 1}, {"ESEN4x2", 1}, {"ESEN4x1", 2},
+	}
+}
+
+// Config sets shared experiment parameters. The zero value is replaced
+// by the calibrated reproduction defaults.
+type Config struct {
+	// Alpha is the negative binomial clustering parameter (default
+	// 3.4, the joint calibration with the benchmark weight ratios that
+	// reproduces the paper's published yields — see
+	// internal/tools/calib2 and calib3 — while keeping the truncation
+	// points at the paper's M = 6 for λ′ = 1 and M = 10 for λ′ = 2).
+	Alpha float64
+	// Epsilon is the yield error requirement (default 2e-3, inside
+	// the window that yields exactly those truncation points at the
+	// default Alpha).
+	Epsilon float64
+	// NodeLimit bounds decision-diagram nodes; configurations
+	// exceeding it are reported as failures, reproducing the paper's
+	// "—" (memory exhaustion on 4 GB) entries. When 0, Table 2 uses
+	// 30,000,000 — which empirically reproduces the paper's failure
+	// pattern — and the performance tables use 100,000,000, enough
+	// headroom for the largest successful rows (our GC cadence lets
+	// roughly 2× the paper's peak accumulate between collections).
+	NodeLimit int
+}
+
+const (
+	defaultOrderingNodeLimit = 30_000_000
+	defaultPerfNodeLimit     = 100_000_000
+)
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 3.4
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 2e-3
+	}
+	return c
+}
+
+// limit returns the node budget for an experiment family.
+func (c Config) limit(def int) int {
+	if c.NodeLimit != 0 {
+		return c.NodeLimit
+	}
+	return def
+}
+
+// buildSystem instantiates a named benchmark.
+func buildSystem(name string) (*yield.System, error) {
+	for _, e := range benchmarks.PaperBenchmarks() {
+		if e.Name == name {
+			return e.Build()
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+}
+
+// distribution returns the defect distribution of a case: negative
+// binomial with mean 2·λ′ (P_L = 0.5 makes the lethal mean λ′).
+func distribution(c Case, cfg Config) (defects.Distribution, error) {
+	return defects.NewNegativeBinomial(2*float64(c.LambdaPrime), cfg.Alpha)
+}
+
+// Table1Row is one row of Table 1.
+type Table1Row struct {
+	Benchmark  string
+	Components int
+	Gates      int // our reconstructed netlist
+	PaperC     int
+	PaperGates int
+}
+
+// Table1 regenerates the benchmark inventory.
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, e := range benchmarks.PaperBenchmarks() {
+		sys, err := e.Build()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Benchmark:  e.Name,
+			Components: len(sys.Components),
+			Gates:      sys.FaultTree.NumGates(),
+			PaperC:     benchmarks.PaperComponentCounts[e.Name],
+			PaperGates: benchmarks.PaperGateCounts[e.Name],
+		})
+	}
+	return rows, nil
+}
+
+// Cell is one measurement that may have failed on the node budget.
+type Cell struct {
+	Size   int
+	Failed bool
+}
+
+func (c Cell) String() string {
+	if c.Failed {
+		return "—"
+	}
+	return fmt.Sprintf("%d", c.Size)
+}
+
+// Table2Row is one row of Table 2: ROMDD sizes per MV ordering.
+type Table2Row struct {
+	Case  Case
+	Sizes map[string]Cell // keyed by ordering name (wv, wvr, …)
+	Paper map[string]Cell
+}
+
+// Table2MVOrderings lists the column orderings of Table 2.
+func Table2MVOrderings() []order.MVKind {
+	return []order.MVKind{
+		order.MVWV, order.MVWVR, order.MVVW, order.MVVRW,
+		order.MVTopology, order.MVWeight, order.MVH4,
+	}
+}
+
+// Table2 regenerates the MV-ordering comparison for the given cases.
+func Table2(cases []Case, cfg Config) ([]Table2Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Table2Row
+	for _, cs := range cases {
+		sys, err := buildSystem(cs.Benchmark)
+		if err != nil {
+			return nil, err
+		}
+		dist, err := distribution(cs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{Case: cs, Sizes: make(map[string]Cell), Paper: paperTable2[cs]}
+		for _, mv := range Table2MVOrderings() {
+			res, err := yield.Evaluate(sys, yield.Options{
+				Defects: dist, Epsilon: cfg.Epsilon,
+				MVOrder: mv, BitOrder: order.BitML,
+				NodeLimit: cfg.limit(defaultOrderingNodeLimit),
+			})
+			switch {
+			case err == nil:
+				row.Sizes[mv.String()] = Cell{Size: res.ROMDDSize}
+			case isLimit(err):
+				row.Sizes[mv.String()] = Cell{Failed: true}
+			default:
+				return nil, fmt.Errorf("%v/%v: %w", cs, mv, err)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table3Row is one row of Table 3: coded-ROBDD sizes per bit-group
+// ordering under the weight MV ordering.
+type Table3Row struct {
+	Case  Case
+	Sizes map[string]Cell // keyed by ml, lm, w
+	Paper map[string]Cell
+}
+
+// Table3BitOrderings lists the column orderings of Table 3.
+func Table3BitOrderings() []order.BitKind {
+	return []order.BitKind{order.BitML, order.BitLM, order.BitWeight}
+}
+
+// Table3 regenerates the bit-ordering comparison.
+func Table3(cases []Case, cfg Config) ([]Table3Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Table3Row
+	for _, cs := range cases {
+		sys, err := buildSystem(cs.Benchmark)
+		if err != nil {
+			return nil, err
+		}
+		dist, err := distribution(cs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{Case: cs, Sizes: make(map[string]Cell), Paper: paperTable3[cs]}
+		for _, bk := range Table3BitOrderings() {
+			res, err := yield.Evaluate(sys, yield.Options{
+				Defects: dist, Epsilon: cfg.Epsilon,
+				MVOrder: order.MVWeight, BitOrder: bk,
+				NodeLimit: cfg.limit(defaultPerfNodeLimit),
+			})
+			switch {
+			case err == nil:
+				row.Sizes[bk.String()] = Cell{Size: res.CodedROBDDSize}
+			case isLimit(err):
+				row.Sizes[bk.String()] = Cell{Failed: true}
+			default:
+				return nil, fmt.Errorf("%v/%v: %w", cs, bk, err)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table4Row is one row of Table 4: the end-to-end method with the
+// paper's chosen heuristics (w for MV variables, ml for bit groups).
+type Table4Row struct {
+	Case      Case
+	CPU       time.Duration
+	Peak      int
+	ROBDD     int
+	ROMDD     int
+	Yield     float64
+	M         int
+	Failed    bool
+	PaperCPU  float64 // seconds
+	PaperRow  PaperPerf
+	HavePaper bool
+}
+
+// PaperPerf is the paper's Table 4 row.
+type PaperPerf struct {
+	CPUSeconds float64
+	Peak       int
+	ROBDD      int
+	ROMDD      int
+	Yield      float64
+}
+
+// Table4 regenerates the end-to-end performance table.
+func Table4(cases []Case, cfg Config) ([]Table4Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Table4Row
+	for _, cs := range cases {
+		sys, err := buildSystem(cs.Benchmark)
+		if err != nil {
+			return nil, err
+		}
+		dist, err := distribution(cs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := yield.Evaluate(sys, yield.Options{
+			Defects: dist, Epsilon: cfg.Epsilon,
+			MVOrder: order.MVWeight, BitOrder: order.BitML,
+			NodeLimit: cfg.limit(defaultPerfNodeLimit),
+		})
+		row := Table4Row{Case: cs, CPU: time.Since(start)}
+		if paper, ok := paperTable4[cs]; ok {
+			row.PaperRow = paper
+			row.HavePaper = true
+		}
+		switch {
+		case err == nil:
+			row.Peak = res.ROBDDPeak
+			row.ROBDD = res.CodedROBDDSize
+			row.ROMDD = res.ROMDDSize
+			row.Yield = res.Yield
+			row.M = res.M
+		case isLimit(err):
+			row.Failed = true
+			if res != nil {
+				row.Peak = res.ROBDDPeak
+			}
+		default:
+			return nil, fmt.Errorf("%v: %w", cs, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationRow compares the coded-ROBDD route against direct ROMDD
+// construction by MDD apply (the paper's Section 2 consensus claim).
+type AblationRow struct {
+	Case         Case
+	CodedTime    time.Duration
+	DirectTime   time.Duration
+	ROMDD        int
+	SizesAgree   bool
+	YieldsAgree  bool
+	DirectFailed bool
+}
+
+// AblationDirectMDD runs both construction routes on the given cases.
+func AblationDirectMDD(cases []Case, cfg Config) ([]AblationRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []AblationRow
+	for _, cs := range cases {
+		sys, err := buildSystem(cs.Benchmark)
+		if err != nil {
+			return nil, err
+		}
+		dist, err := distribution(cs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		opts := yield.Options{
+			Defects: dist, Epsilon: cfg.Epsilon,
+			MVOrder: order.MVWeight, BitOrder: order.BitML,
+			NodeLimit: cfg.limit(defaultPerfNodeLimit),
+		}
+		start := time.Now()
+		viaCoded, err := yield.Evaluate(sys, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%v coded route: %w", cs, err)
+		}
+		codedTime := time.Since(start)
+		start = time.Now()
+		direct, err := yield.EvaluateDirectMDD(sys, opts)
+		row := AblationRow{Case: cs, CodedTime: codedTime, ROMDD: viaCoded.ROMDDSize}
+		if err != nil {
+			if !isLimit(err) {
+				return nil, fmt.Errorf("%v direct route: %w", cs, err)
+			}
+			row.DirectFailed = true
+		} else {
+			row.DirectTime = time.Since(start)
+			row.SizesAgree = direct.ROMDDSize == viaCoded.ROMDDSize
+			row.YieldsAgree = abs(direct.Yield-viaCoded.Yield) < 1e-9
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// BaselineRow compares the combinatorial method with Monte-Carlo
+// simulation at a matched time budget.
+type BaselineRow struct {
+	Case        Case
+	Exact       float64
+	ExactTime   time.Duration
+	MC          float64
+	MCStdErr    float64
+	MCSamples   int
+	MCTime      time.Duration
+	WithinThree bool // |MC − exact| ≤ 3σ
+}
+
+// BaselineMonteCarlo runs the simulation baseline with the given
+// sample count per case.
+func BaselineMonteCarlo(cases []Case, samples int, cfg Config) ([]BaselineRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []BaselineRow
+	for _, cs := range cases {
+		sys, err := buildSystem(cs.Benchmark)
+		if err != nil {
+			return nil, err
+		}
+		dist, err := distribution(cs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		exact, err := yield.Evaluate(sys, yield.Options{
+			Defects: dist, Epsilon: cfg.Epsilon, NodeLimit: cfg.limit(defaultPerfNodeLimit),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", cs, err)
+		}
+		exactTime := time.Since(start)
+		start = time.Now()
+		mc, err := montecarlo.Estimate(sys, montecarlo.Options{
+			Defects: dist, Samples: samples, Seed: 20030622, // DSN'03 conference date
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%v MC: %w", cs, err)
+		}
+		diff := abs(mc.Yield - exact.Yield)
+		rows = append(rows, BaselineRow{
+			Case: cs, Exact: exact.Yield, ExactTime: exactTime,
+			MC: mc.Yield, MCStdErr: mc.StdErr, MCSamples: samples,
+			MCTime: time.Since(start),
+			// The combinatorial result is pessimistic by ≤ ε, so allow
+			// the truncation slack on top of the sampling noise.
+			WithinThree: diff <= 3*mc.StdErr+cfg.Epsilon,
+		})
+	}
+	return rows, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func isLimit(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "node limit")
+}
+
+// FormatTable renders rows of named columns as an aligned text table.
+func FormatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len([]rune(h))
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if n := len([]rune(cell)); i < len(widths) && n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			for p := len([]rune(cell)); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	total := len(header) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// SortCases orders cases as the paper's tables do (already the
+// PaperCases order); it is exposed for callers assembling subsets.
+func SortCases(cases []Case) {
+	rank := make(map[Case]int, len(PaperCases()))
+	for i, c := range PaperCases() {
+		rank[c] = i
+	}
+	sort.SliceStable(cases, func(a, b int) bool {
+		ra, oka := rank[cases[a]]
+		rb, okb := rank[cases[b]]
+		switch {
+		case oka && okb:
+			return ra < rb
+		case oka:
+			return true
+		case okb:
+			return false
+		default:
+			return cases[a].String() < cases[b].String()
+		}
+	})
+}

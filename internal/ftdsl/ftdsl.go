@@ -1,0 +1,239 @@
+// Package ftdsl parses a small text format describing a fault-tolerant
+// system: its components with their defect-lethality probabilities and
+// the fault-tree expression over them. It exists so the command-line
+// tools can evaluate user systems without writing Go.
+//
+// Format (line oriented; '#' starts a comment):
+//
+//	system   <name>
+//	component <name> <P_i>
+//	define   <name> = <expr>        # optional named subexpressions
+//	fails    = <expr>               # the fault tree: 1 ⇔ system down
+//
+// Expressions:
+//
+//	and(e, e, ...)   or(e, e, ...)   not(e)   xor(e, e, ...)
+//	atleast(k, e, e, ...)            true     false
+//	<component or defined name>
+//
+// Example (TMR):
+//
+//	system tmr
+//	component m1 0.2
+//	component m2 0.15
+//	component m3 0.15
+//	fails = atleast(2, m1, m2, m3)
+package ftdsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"socyield/internal/logic"
+	"socyield/internal/yield"
+)
+
+// Parse reads a system description.
+func Parse(src string) (*yield.System, error) {
+	sys := &yield.System{FaultTree: logic.New()}
+	defs := make(map[string]logic.GateID)
+	compSeen := make(map[string]bool)
+	haveFails := false
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("ftdsl: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, "system "):
+			sys.Name = strings.TrimSpace(strings.TrimPrefix(line, "system "))
+		case strings.HasPrefix(line, "component "):
+			fields := strings.Fields(strings.TrimPrefix(line, "component "))
+			if len(fields) != 2 {
+				return nil, fail("component wants <name> <P>, got %q", line)
+			}
+			name := fields[0]
+			if compSeen[name] {
+				return nil, fail("component %q declared twice", name)
+			}
+			p, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fail("bad probability %q: %v", fields[1], err)
+			}
+			compSeen[name] = true
+			sys.Components = append(sys.Components, yield.Component{Name: name, P: p})
+			sys.FaultTree.Input(name)
+		case strings.HasPrefix(line, "define "):
+			rest := strings.TrimPrefix(line, "define ")
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return nil, fail("define wants <name> = <expr>")
+			}
+			name := strings.TrimSpace(rest[:eq])
+			if name == "" {
+				return nil, fail("define wants a name")
+			}
+			if _, dup := defs[name]; dup || compSeen[name] {
+				return nil, fail("name %q already in use", name)
+			}
+			id, err := parseExpr(strings.TrimSpace(rest[eq+1:]), sys.FaultTree, defs)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			defs[name] = id
+		case strings.HasPrefix(line, "fails"):
+			rest := strings.TrimPrefix(line, "fails")
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return nil, fail("fails wants = <expr>")
+			}
+			if haveFails {
+				return nil, fail("fails declared twice")
+			}
+			id, err := parseExpr(strings.TrimSpace(rest[eq+1:]), sys.FaultTree, defs)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			sys.FaultTree.SetOutput(id)
+			haveFails = true
+		default:
+			return nil, fail("unknown directive %q", strings.Fields(line)[0])
+		}
+	}
+	if !haveFails {
+		return nil, fmt.Errorf("ftdsl: missing 'fails = <expr>'")
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// parseExpr parses a single expression.
+func parseExpr(s string, n *logic.Netlist, defs map[string]logic.GateID) (logic.GateID, error) {
+	p := &parser{src: s, n: n, defs: defs}
+	id, err := p.expr()
+	if err != nil {
+		return 0, err
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("trailing input %q", p.src[p.pos:])
+	}
+	return id, nil
+}
+
+type parser struct {
+	src  string
+	pos  int
+	n    *logic.Netlist
+	defs map[string]logic.GateID
+}
+
+func (p *parser) ws() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) ident() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '(' || c == ')' || c == ',' || c == ' ' || c == '\t' {
+			break
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) expect(c byte) error {
+	p.ws()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return fmt.Errorf("expected %q at offset %d of %q", string(c), p.pos, p.src)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expr() (logic.GateID, error) {
+	p.ws()
+	name := p.ident()
+	if name == "" {
+		return 0, fmt.Errorf("expected expression at offset %d of %q", p.pos, p.src)
+	}
+	p.ws()
+	isCall := p.pos < len(p.src) && p.src[p.pos] == '('
+	if !isCall {
+		switch name {
+		case "true":
+			return p.n.Const(true), nil
+		case "false":
+			return p.n.Const(false), nil
+		}
+		if id, ok := p.defs[name]; ok {
+			return id, nil
+		}
+		if id, ok := p.n.InputByName(name); ok {
+			return id, nil
+		}
+		return 0, fmt.Errorf("unknown name %q", name)
+	}
+	p.pos++ // consume '('
+	var k int
+	if name == "atleast" {
+		p.ws()
+		numStr := p.ident()
+		var err error
+		k, err = strconv.Atoi(numStr)
+		if err != nil {
+			return 0, fmt.Errorf("atleast wants an integer first argument, got %q", numStr)
+		}
+		if err := p.expect(','); err != nil {
+			return 0, err
+		}
+	}
+	var args []logic.GateID
+	for {
+		id, err := p.expr()
+		if err != nil {
+			return 0, err
+		}
+		args = append(args, id)
+		p.ws()
+		if p.pos < len(p.src) && p.src[p.pos] == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return 0, err
+	}
+	switch name {
+	case "and":
+		return p.n.And(args...), nil
+	case "or":
+		return p.n.Or(args...), nil
+	case "xor":
+		return p.n.Xor(args...), nil
+	case "not":
+		if len(args) != 1 {
+			return 0, fmt.Errorf("not wants exactly one argument, got %d", len(args))
+		}
+		return p.n.Not(args[0]), nil
+	case "atleast":
+		return p.n.AtLeast(k, args...), nil
+	default:
+		return 0, fmt.Errorf("unknown operator %q", name)
+	}
+}

@@ -1,0 +1,158 @@
+package ftdsl
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"socyield/internal/defects"
+	"socyield/internal/yield"
+)
+
+const tmrSrc = `
+# triple modular redundancy
+system tmr
+component m1 0.2
+component m2 0.15
+component m3 0.15
+fails = atleast(2, m1, m2, m3)
+`
+
+func TestParseTMR(t *testing.T) {
+	sys, err := Parse(tmrSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if sys.Name != "tmr" {
+		t.Errorf("name = %q", sys.Name)
+	}
+	if len(sys.Components) != 3 {
+		t.Fatalf("components = %d", len(sys.Components))
+	}
+	if sys.Components[0].P != 0.2 {
+		t.Errorf("P(m1) = %v", sys.Components[0].P)
+	}
+	// Semantics: down iff ≥ 2 failed.
+	down, err := sys.FaultTree.EvalNamed(map[string]bool{"m1": true, "m2": true})
+	if err != nil || !down {
+		t.Errorf("two failures: down=%v err=%v", down, err)
+	}
+	down, _ = sys.FaultTree.EvalNamed(map[string]bool{"m1": true})
+	if down {
+		t.Error("one failure reported as down")
+	}
+	// The parsed system must evaluate identically to the Go-built one.
+	dist, _ := defects.NewNegativeBinomial(2, 2)
+	res, err := yield.Evaluate(sys, yield.Options{Defects: dist, Epsilon: 5e-3})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	ref, err := yield.BruteForce(sys, yield.Options{Defects: dist, Epsilon: 5e-3})
+	if err != nil {
+		t.Fatalf("BruteForce: %v", err)
+	}
+	if math.Abs(res.Yield-ref.Yield) > 1e-10 {
+		t.Errorf("parsed system: %v vs %v", res.Yield, ref.Yield)
+	}
+}
+
+func TestParseDefines(t *testing.T) {
+	src := `
+system bridged
+component a 0.1
+component b 0.1
+component c 0.1
+component d 0.1
+define leftPath = and(not(a), not(b))
+define rightPath = and(not(c), not(d))
+fails = not(or(leftPath, rightPath))
+`
+	sys, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// Functions iff at least one path is fully alive.
+	down, _ := sys.FaultTree.EvalNamed(map[string]bool{"a": true, "c": true})
+	if !down {
+		t.Error("both paths broken but system up")
+	}
+	down, _ = sys.FaultTree.EvalNamed(map[string]bool{"a": true, "b": true, "c": false})
+	if down {
+		t.Error("right path intact but system down")
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	src := `
+system ops
+component a 0.1
+component b 0.1
+fails = xor(a, or(b, false), and(true, not(b)))
+`
+	sys, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	for mask := 0; mask < 4; mask++ {
+		a, b := mask&1 != 0, mask&2 != 0
+		want := a != (b != !b) // xor of three terms: a, b, ¬b
+		got, err := sys.FaultTree.EvalNamed(map[string]bool{"a": a, "b": b})
+		if err != nil {
+			t.Fatalf("eval: %v", err)
+		}
+		if got != want {
+			t.Errorf("a=%v b=%v: got %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		frag string
+	}{
+		{"missing fails", "system x\ncomponent a 0.1\ncomponent b 0.1\n", "missing 'fails"},
+		{"bad directive", "bogus line\n", "unknown directive"},
+		{"bad probability", "component a zero\ncomponent b 0.1\nfails = a\n", "bad probability"},
+		{"dup component", "component a 0.1\ncomponent a 0.1\ncomponent b 0.1\nfails = a\n", "declared twice"},
+		{"component fields", "component a\n", "wants <name> <P>"},
+		{"unknown name", "component a 0.1\ncomponent b 0.1\nfails = q\n", "unknown name"},
+		{"unknown op", "component a 0.1\ncomponent b 0.1\nfails = nandify(a, b)\n", "unknown operator"},
+		{"not arity", "component a 0.1\ncomponent b 0.1\nfails = not(a, b)\n", "exactly one"},
+		{"atleast int", "component a 0.1\ncomponent b 0.1\nfails = atleast(x, a, b)\n", "integer"},
+		{"trailing", "component a 0.1\ncomponent b 0.1\nfails = or(a, b) junk\n", "trailing"},
+		{"define dup", "component a 0.1\ncomponent b 0.1\ndefine a = b\nfails = a\n", "already in use"},
+		{"define form", "component a 0.1\ndefine q\nfails = a\n", "define wants"},
+		{"fails dup", "component a 0.1\ncomponent b 0.1\nfails = a\nfails = b\n", "declared twice"},
+		{"unbalanced", "component a 0.1\ncomponent b 0.1\nfails = or(a, b\n", "expected"},
+		{"empty expr", "component a 0.1\ncomponent b 0.1\nfails = \n", "expected expression"},
+		{"one component", "component a 0.5\nfails = a\n", "components"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Errorf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestParseWhitespaceAndComments(t *testing.T) {
+	src := "  system   padded  \n\n # full comment line\ncomponent a 0.1 # trailing comment\ncomponent b 0.2\nfails   =   or( a ,  b )  \n"
+	sys, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if sys.Name != "padded" {
+		t.Errorf("name = %q", sys.Name)
+	}
+	down, _ := sys.FaultTree.EvalNamed(map[string]bool{"b": true})
+	if !down {
+		t.Error("or(a,b) with b=1 must be down")
+	}
+}

@@ -1,0 +1,39 @@
+package ftdsl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that accepted
+// systems always validate.
+func FuzzParse(f *testing.F) {
+	f.Add(tmrSrc)
+	f.Add("system x\ncomponent a 0.1\ncomponent b 0.2\nfails = or(a, b)\n")
+	f.Add("component a 0.1\ncomponent b 0.1\ndefine d = not(a)\nfails = and(d, b)\n")
+	f.Add("fails = \n")
+	f.Add("component a nan\ncomponent b 0.1\nfails = a")
+	f.Add("component a 0.1\ncomponent b 0.1\nfails = atleast(1, a, b)")
+	f.Add(strings.Repeat("component x 0.0001\n", 3))
+	f.Fuzz(func(t *testing.T, src string) {
+		sys, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if verr := sys.Validate(); verr != nil {
+			t.Fatalf("accepted system fails validation: %v\nsource:\n%s", verr, src)
+		}
+		// Accepted systems must be evaluable on the all-false and
+		// all-true assignments.
+		all := make([]bool, len(sys.Components))
+		if _, err := sys.FaultTree.Eval(all); err != nil {
+			t.Fatalf("Eval(false…): %v", err)
+		}
+		for i := range all {
+			all[i] = true
+		}
+		if _, err := sys.FaultTree.Eval(all); err != nil {
+			t.Fatalf("Eval(true…): %v", err)
+		}
+	})
+}

@@ -1,0 +1,489 @@
+// Package logic provides gate-level combinational netlists.
+//
+// Netlists are the common substrate of the yield method: fault-tree
+// functions F(x_1..x_C) are described as netlists, the generalized
+// function G(w, v_1..v_M) is synthesized as a netlist over binary
+// variables, the variable-ordering heuristics walk netlists, and the
+// coded ROBDD is compiled gate by gate from a netlist.
+//
+// A netlist is a DAG of gates built incrementally through the builder
+// methods (Input, And, Or, Not, ...). Construction enforces acyclicity:
+// a gate may only reference gates that already exist. Identical gates
+// (same kind, same fan-in in the same order) are structurally shared.
+// Fan-in order is preserved exactly as given, because the ordering
+// heuristics of Bouissou et al. and Minato et al. are sensitive to it.
+package logic
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Kind identifies the logical function computed by a gate.
+type Kind uint8
+
+// Gate kinds. InputKind gates are the free variables of the function;
+// ConstKind gates are the two boolean constants.
+const (
+	InputKind Kind = iota + 1
+	ConstKind
+	NotKind
+	AndKind
+	OrKind
+	NandKind
+	NorKind
+	XorKind
+	XnorKind
+)
+
+// String returns the conventional lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case InputKind:
+		return "input"
+	case ConstKind:
+		return "const"
+	case NotKind:
+		return "not"
+	case AndKind:
+		return "and"
+	case OrKind:
+		return "or"
+	case NandKind:
+		return "nand"
+	case NorKind:
+		return "nor"
+	case XorKind:
+		return "xor"
+	case XnorKind:
+		return "xnor"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// GateID names a gate within its netlist. IDs are dense, start at 0,
+// and increase in construction order, so any fan-in ID is smaller than
+// the ID of the gate that references it.
+type GateID int32
+
+// Gate is one node of the netlist DAG.
+type Gate struct {
+	Kind  Kind
+	Fanin []GateID // empty for inputs and constants
+	Name  string   // input name, or empty
+	Value bool     // constant value for ConstKind
+	Ord   int32    // input declaration ordinal for InputKind, else 0
+}
+
+// Netlist is a combinational circuit with named inputs and a single
+// output. The zero value is an empty netlist ready for use.
+type Netlist struct {
+	gates   []Gate
+	inputs  []GateID // in declaration order
+	byName  map[string]GateID
+	cse     map[string]GateID
+	output  GateID
+	hasOut  bool
+	counts  map[Kind]int
+	evalBuf []bool
+}
+
+// New returns an empty netlist.
+func New() *Netlist {
+	return &Netlist{
+		byName: make(map[string]GateID),
+		cse:    make(map[string]GateID),
+		counts: make(map[Kind]int),
+	}
+}
+
+func (n *Netlist) add(g Gate) GateID {
+	id := GateID(len(n.gates))
+	n.gates = append(n.gates, g)
+	n.counts[g.Kind]++
+	return id
+}
+
+func cseKey(kind Kind, fanin []GateID) string {
+	var sb strings.Builder
+	sb.Grow(2 + 8*len(fanin))
+	sb.WriteByte(byte(kind))
+	for _, f := range fanin {
+		fmt.Fprintf(&sb, ",%d", f)
+	}
+	return sb.String()
+}
+
+// Input declares (or retrieves) the input gate with the given name.
+// Declaring the same name twice returns the same gate.
+func (n *Netlist) Input(name string) GateID {
+	if id, ok := n.byName[name]; ok {
+		return id
+	}
+	id := n.add(Gate{Kind: InputKind, Name: name, Ord: int32(len(n.inputs))})
+	n.byName[name] = id
+	n.inputs = append(n.inputs, id)
+	return id
+}
+
+// Const returns the constant gate with the given value. Both constants
+// are shared.
+func (n *Netlist) Const(v bool) GateID {
+	key := "c0"
+	if v {
+		key = "c1"
+	}
+	if id, ok := n.cse[key]; ok {
+		return id
+	}
+	id := n.add(Gate{Kind: ConstKind, Value: v})
+	n.cse[key] = id
+	return id
+}
+
+func (n *Netlist) gate(kind Kind, fanin ...GateID) GateID {
+	for _, f := range fanin {
+		if int(f) < 0 || int(f) >= len(n.gates) {
+			panic(fmt.Sprintf("logic: fan-in %d out of range (have %d gates)", f, len(n.gates)))
+		}
+	}
+	key := cseKey(kind, fanin)
+	if id, ok := n.cse[key]; ok {
+		return id
+	}
+	own := make([]GateID, len(fanin))
+	copy(own, fanin)
+	id := n.add(Gate{Kind: kind, Fanin: own})
+	n.cse[key] = id
+	return id
+}
+
+// Not returns the negation of a.
+func (n *Netlist) Not(a GateID) GateID { return n.gate(NotKind, a) }
+
+// And returns the conjunction of the arguments. With no arguments it
+// returns the constant true; with one, the argument itself.
+func (n *Netlist) And(xs ...GateID) GateID {
+	switch len(xs) {
+	case 0:
+		return n.Const(true)
+	case 1:
+		return xs[0]
+	}
+	return n.gate(AndKind, xs...)
+}
+
+// Or returns the disjunction of the arguments. With no arguments it
+// returns the constant false; with one, the argument itself.
+func (n *Netlist) Or(xs ...GateID) GateID {
+	switch len(xs) {
+	case 0:
+		return n.Const(false)
+	case 1:
+		return xs[0]
+	}
+	return n.gate(OrKind, xs...)
+}
+
+// Nand returns ¬(a ∧ b ∧ …). It requires at least two arguments.
+func (n *Netlist) Nand(xs ...GateID) GateID { return n.gate(NandKind, xs...) }
+
+// Nor returns ¬(a ∨ b ∨ …). It requires at least two arguments.
+func (n *Netlist) Nor(xs ...GateID) GateID { return n.gate(NorKind, xs...) }
+
+// Xor returns the exclusive-or (odd parity) of the arguments.
+func (n *Netlist) Xor(xs ...GateID) GateID {
+	if len(xs) == 1 {
+		return xs[0]
+	}
+	return n.gate(XorKind, xs...)
+}
+
+// Xnor returns the even-parity function of the arguments.
+func (n *Netlist) Xnor(xs ...GateID) GateID { return n.gate(XnorKind, xs...) }
+
+// AtLeast returns a gate tree computing "at least k of xs are true",
+// expanded into AND/OR gates with the standard Shannon recursion on the
+// first argument. k ≤ 0 yields the constant true; k > len(xs) the
+// constant false. For the common k = len(xs)−1 case it emits the
+// compact ⋁_i ⋀_{j≠i} x_j form.
+func (n *Netlist) AtLeast(k int, xs ...GateID) GateID {
+	switch {
+	case k <= 0:
+		return n.Const(true)
+	case k > len(xs):
+		return n.Const(false)
+	case k == len(xs):
+		return n.And(xs...)
+	case k == len(xs)-1:
+		terms := make([]GateID, 0, len(xs))
+		rest := make([]GateID, 0, len(xs)-1)
+		for i := range xs {
+			rest = rest[:0]
+			for j, x := range xs {
+				if j != i {
+					rest = append(rest, x)
+				}
+			}
+			terms = append(terms, n.And(rest...))
+		}
+		return n.Or(terms...)
+	}
+	with := n.And(xs[0], n.AtLeast(k-1, xs[1:]...))
+	without := n.AtLeast(k, xs[1:]...)
+	return n.Or(with, without)
+}
+
+// SetOutput designates the output gate of the netlist.
+func (n *Netlist) SetOutput(id GateID) {
+	if int(id) < 0 || int(id) >= len(n.gates) {
+		panic(fmt.Sprintf("logic: output %d out of range", id))
+	}
+	n.output = id
+	n.hasOut = true
+}
+
+// Output returns the output gate. It reports false if none was set.
+func (n *Netlist) Output() (GateID, bool) { return n.output, n.hasOut }
+
+// MustOutput returns the output gate and panics if none was set; it is
+// intended for generators that always produce complete netlists.
+func (n *Netlist) MustOutput() GateID {
+	if !n.hasOut {
+		panic("logic: netlist has no output")
+	}
+	return n.output
+}
+
+// NumGates returns the total number of gates, excluding inputs and
+// constants. This is the quantity Table 1 of the paper reports.
+func (n *Netlist) NumGates() int {
+	return len(n.gates) - n.counts[InputKind] - n.counts[ConstKind]
+}
+
+// NumNodes returns the total number of nodes including inputs and
+// constants.
+func (n *Netlist) NumNodes() int { return len(n.gates) }
+
+// NumInputs returns the number of declared inputs.
+func (n *Netlist) NumInputs() int { return len(n.inputs) }
+
+// Inputs returns the input gates in declaration order. The slice is a
+// copy and may be modified by the caller.
+func (n *Netlist) Inputs() []GateID {
+	out := make([]GateID, len(n.inputs))
+	copy(out, n.inputs)
+	return out
+}
+
+// InputNames returns the input names in declaration order.
+func (n *Netlist) InputNames() []string {
+	out := make([]string, len(n.inputs))
+	for i, id := range n.inputs {
+		out[i] = n.gates[id].Name
+	}
+	return out
+}
+
+// InputByName returns the gate of the named input.
+func (n *Netlist) InputByName(name string) (GateID, bool) {
+	id, ok := n.byName[name]
+	return id, ok
+}
+
+// Gate returns the gate record for id. The returned value shares the
+// fan-in slice with the netlist; callers must not modify it.
+func (n *Netlist) Gate(id GateID) Gate { return n.gates[id] }
+
+// InputOrdinal returns the position of the given input gate in
+// declaration order, or -1 if id is not an input.
+func (n *Netlist) InputOrdinal(id GateID) int {
+	if int(id) >= len(n.gates) || n.gates[id].Kind != InputKind {
+		return -1
+	}
+	return int(n.gates[id].Ord)
+}
+
+// ErrNoOutput is returned by operations requiring a completed netlist.
+var ErrNoOutput = errors.New("logic: netlist has no output")
+
+// Eval evaluates the netlist output under the given assignment, which
+// maps input declaration ordinals to values (assign[i] is the value of
+// the i-th declared input). Missing trailing inputs default to false.
+func (n *Netlist) Eval(assign []bool) (bool, error) {
+	if !n.hasOut {
+		return false, ErrNoOutput
+	}
+	if cap(n.evalBuf) < len(n.gates) {
+		n.evalBuf = make([]bool, len(n.gates))
+	}
+	vals := n.evalBuf[:len(n.gates)]
+	for i, g := range n.gates {
+		switch g.Kind {
+		case InputKind:
+			vals[i] = int(g.Ord) < len(assign) && assign[g.Ord]
+		case ConstKind:
+			vals[i] = g.Value
+		case NotKind:
+			vals[i] = !vals[g.Fanin[0]]
+		case AndKind, NandKind:
+			v := true
+			for _, f := range g.Fanin {
+				v = v && vals[f]
+			}
+			if g.Kind == NandKind {
+				v = !v
+			}
+			vals[i] = v
+		case OrKind, NorKind:
+			v := false
+			for _, f := range g.Fanin {
+				v = v || vals[f]
+			}
+			if g.Kind == NorKind {
+				v = !v
+			}
+			vals[i] = v
+		case XorKind, XnorKind:
+			v := false
+			for _, f := range g.Fanin {
+				v = v != vals[f]
+			}
+			if g.Kind == XnorKind {
+				v = !v
+			}
+			vals[i] = v
+		default:
+			return false, fmt.Errorf("logic: gate %d has unknown kind %v", i, g.Kind)
+		}
+	}
+	return vals[n.output], nil
+}
+
+// EvalNamed evaluates the output under a name→value assignment.
+// Unmentioned inputs default to false.
+func (n *Netlist) EvalNamed(assign map[string]bool) (bool, error) {
+	vec := make([]bool, len(n.inputs))
+	for i, id := range n.inputs {
+		vec[i] = assign[n.gates[id].Name]
+	}
+	return n.Eval(vec)
+}
+
+// VisitDepthFirst walks the cone of the output depth-first, leftmost
+// (fan-in visited in stored order before the gate itself), calling fn
+// exactly once per reachable gate in post-order. It is the traversal
+// the ordering heuristics of the paper are defined on.
+func (n *Netlist) VisitDepthFirst(fn func(id GateID, g Gate)) error {
+	if !n.hasOut {
+		return ErrNoOutput
+	}
+	n.visitFrom(n.output, make([]bool, len(n.gates)), fn)
+	return nil
+}
+
+func (n *Netlist) visitFrom(id GateID, seen []bool, fn func(GateID, Gate)) {
+	if seen[id] {
+		return
+	}
+	seen[id] = true
+	for _, f := range n.gates[id].Fanin {
+		n.visitFrom(f, seen, fn)
+	}
+	fn(id, n.gates[id])
+}
+
+// ReachableInputs returns the inputs in the cone of the output, in
+// depth-first leftmost discovery order (the paper's "topology" order
+// before any fan-in re-sorting).
+func (n *Netlist) ReachableInputs() ([]GateID, error) {
+	var out []GateID
+	err := n.VisitDepthFirst(func(id GateID, g Gate) {
+		if g.Kind == InputKind {
+			out = append(out, id)
+		}
+	})
+	return out, err
+}
+
+// Stats summarizes a netlist.
+type Stats struct {
+	Inputs    int
+	Gates     int // excluding inputs and constants
+	ByKind    map[Kind]int
+	MaxFanin  int
+	Depth     int // longest input→output path counting gates, 0 for bare input
+	Reachable int // gates in the output cone (excluding inputs/constants)
+}
+
+// ComputeStats returns structural statistics for the netlist.
+func (n *Netlist) ComputeStats() (Stats, error) {
+	if !n.hasOut {
+		return Stats{}, ErrNoOutput
+	}
+	s := Stats{
+		Inputs: len(n.inputs),
+		Gates:  n.NumGates(),
+		ByKind: make(map[Kind]int, len(n.counts)),
+	}
+	for k, c := range n.counts {
+		s.ByKind[k] = c
+	}
+	depth := make([]int, len(n.gates))
+	err := n.VisitDepthFirst(func(id GateID, g Gate) {
+		if len(g.Fanin) > s.MaxFanin {
+			s.MaxFanin = len(g.Fanin)
+		}
+		d := 0
+		for _, f := range g.Fanin {
+			if depth[f] > d {
+				d = depth[f]
+			}
+		}
+		switch g.Kind {
+		case InputKind, ConstKind:
+			depth[id] = 0
+		default:
+			depth[id] = d + 1
+			s.Reachable++
+		}
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	s.Depth = depth[n.output]
+	return s, nil
+}
+
+// DOT renders the output cone in Graphviz dot syntax, for debugging
+// and documentation.
+func (n *Netlist) DOT(name string) (string, error) {
+	if !n.hasOut {
+		return "", ErrNoOutput
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n", name)
+	err := n.VisitDepthFirst(func(id GateID, g Gate) {
+		label := g.Kind.String()
+		shape := "box"
+		switch g.Kind {
+		case InputKind:
+			label = g.Name
+			shape = "ellipse"
+		case ConstKind:
+			label = fmt.Sprintf("%v", g.Value)
+			shape = "ellipse"
+		}
+		fmt.Fprintf(&sb, "  g%d [label=%q shape=%s];\n", id, label, shape)
+		for _, f := range g.Fanin {
+			fmt.Fprintf(&sb, "  g%d -> g%d;\n", f, id)
+		}
+	})
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&sb, "  out [shape=plaintext label=\"F\"];\n  g%d -> out;\n}\n", n.output)
+	return sb.String(), nil
+}

@@ -1,0 +1,400 @@
+package logic
+
+import (
+	"math/bits"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestInputDeclarationAndLookup(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	b := n.Input("b")
+	if a == b {
+		t.Fatalf("distinct inputs share a gate: %d", a)
+	}
+	if got := n.Input("a"); got != a {
+		t.Errorf("re-declaring input a: got %d, want %d", got, a)
+	}
+	if n.NumInputs() != 2 {
+		t.Errorf("NumInputs = %d, want 2", n.NumInputs())
+	}
+	id, ok := n.InputByName("b")
+	if !ok || id != b {
+		t.Errorf("InputByName(b) = %d,%v; want %d,true", id, ok, b)
+	}
+	if _, ok := n.InputByName("zzz"); ok {
+		t.Error("InputByName(zzz) reported ok for missing input")
+	}
+	names := n.InputNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("InputNames = %v, want [a b]", names)
+	}
+	if ord := n.InputOrdinal(b); ord != 1 {
+		t.Errorf("InputOrdinal(b) = %d, want 1", ord)
+	}
+	g := n.And(a, b)
+	if ord := n.InputOrdinal(g); ord != -1 {
+		t.Errorf("InputOrdinal(non-input) = %d, want -1", ord)
+	}
+}
+
+func TestStructuralSharing(t *testing.T) {
+	n := New()
+	a, b := n.Input("a"), n.Input("b")
+	g1 := n.And(a, b)
+	g2 := n.And(a, b)
+	if g1 != g2 {
+		t.Errorf("identical AND gates not shared: %d vs %d", g1, g2)
+	}
+	g3 := n.And(b, a)
+	if g3 == g1 {
+		t.Error("AND(b,a) shared with AND(a,b): fan-in order must be preserved")
+	}
+	if n.Not(a) != n.Not(a) {
+		t.Error("identical NOT gates not shared")
+	}
+	if n.Const(true) != n.Const(true) {
+		t.Error("constant true not shared")
+	}
+	if n.Const(true) == n.Const(false) {
+		t.Error("constants true and false aliased")
+	}
+}
+
+func TestDegenerateVariadicForms(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	if got := n.And(a); got != a {
+		t.Errorf("And(a) = %d, want %d", got, a)
+	}
+	if got := n.Or(a); got != a {
+		t.Errorf("Or(a) = %d, want %d", got, a)
+	}
+	if got := n.Xor(a); got != a {
+		t.Errorf("Xor(a) = %d, want %d", got, a)
+	}
+	if got := n.And(); got != n.Const(true) {
+		t.Errorf("And() = %d, want const true", got)
+	}
+	if got := n.Or(); got != n.Const(false) {
+		t.Errorf("Or() = %d, want const false", got)
+	}
+}
+
+// evalTruth evaluates the netlist output on every assignment of its
+// declared inputs and returns the truth table as a bitmask.
+func evalTruth(t *testing.T, n *Netlist) uint64 {
+	t.Helper()
+	k := n.NumInputs()
+	if k > 6 {
+		t.Fatalf("evalTruth supports at most 6 inputs, got %d", k)
+	}
+	var table uint64
+	assign := make([]bool, k)
+	for m := 0; m < 1<<k; m++ {
+		for i := range assign {
+			assign[i] = m&(1<<i) != 0
+		}
+		v, err := n.Eval(assign)
+		if err != nil {
+			t.Fatalf("Eval: %v", err)
+		}
+		if v {
+			table |= 1 << m
+		}
+	}
+	return table
+}
+
+func TestEvalAllKinds(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func(n *Netlist) GateID
+		want  func(a, b, c bool) bool
+	}{
+		{"and", func(n *Netlist) GateID {
+			return n.And(n.Input("a"), n.Input("b"), n.Input("c"))
+		}, func(a, b, c bool) bool { return a && b && c }},
+		{"or", func(n *Netlist) GateID {
+			return n.Or(n.Input("a"), n.Input("b"), n.Input("c"))
+		}, func(a, b, c bool) bool { return a || b || c }},
+		{"not", func(n *Netlist) GateID {
+			n.Input("a")
+			n.Input("b")
+			n.Input("c")
+			id, _ := n.InputByName("a")
+			return n.Not(id)
+		}, func(a, b, c bool) bool { return !a }},
+		{"nand", func(n *Netlist) GateID {
+			return n.Nand(n.Input("a"), n.Input("b"), n.Input("c"))
+		}, func(a, b, c bool) bool { return !(a && b && c) }},
+		{"nor", func(n *Netlist) GateID {
+			return n.Nor(n.Input("a"), n.Input("b"), n.Input("c"))
+		}, func(a, b, c bool) bool { return !(a || b || c) }},
+		{"xor", func(n *Netlist) GateID {
+			return n.Xor(n.Input("a"), n.Input("b"), n.Input("c"))
+		}, func(a, b, c bool) bool { return a != (b != c) }},
+		{"xnor", func(n *Netlist) GateID {
+			return n.Xnor(n.Input("a"), n.Input("b"), n.Input("c"))
+		}, func(a, b, c bool) bool { return !(a != (b != c)) }},
+		{"nested", func(n *Netlist) GateID {
+			a, b, c := n.Input("a"), n.Input("b"), n.Input("c")
+			return n.Or(n.And(a, b), n.Not(c))
+		}, func(a, b, c bool) bool { return (a && b) || !c }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			n := New()
+			n.SetOutput(tc.build(n))
+			for m := 0; m < 8; m++ {
+				a, b, c := m&1 != 0, m&2 != 0, m&4 != 0
+				got, err := n.Eval([]bool{a, b, c})
+				if err != nil {
+					t.Fatalf("Eval: %v", err)
+				}
+				if got != tc.want(a, b, c) {
+					t.Errorf("assign (%v,%v,%v): got %v, want %v", a, b, c, got, tc.want(a, b, c))
+				}
+			}
+		})
+	}
+}
+
+func TestEvalNamed(t *testing.T) {
+	n := New()
+	a, b := n.Input("a"), n.Input("b")
+	n.SetOutput(n.And(a, n.Not(b)))
+	got, err := n.EvalNamed(map[string]bool{"a": true})
+	if err != nil {
+		t.Fatalf("EvalNamed: %v", err)
+	}
+	if !got {
+		t.Error("a ∧ ¬b with a=1, b unset(=0): got false, want true")
+	}
+	got, err = n.EvalNamed(map[string]bool{"a": true, "b": true})
+	if err != nil {
+		t.Fatalf("EvalNamed: %v", err)
+	}
+	if got {
+		t.Error("a ∧ ¬b with a=1, b=1: got true, want false")
+	}
+}
+
+func TestEvalNoOutput(t *testing.T) {
+	n := New()
+	n.Input("a")
+	if _, err := n.Eval([]bool{true}); err != ErrNoOutput {
+		t.Errorf("Eval without output: err = %v, want ErrNoOutput", err)
+	}
+	if _, err := n.ReachableInputs(); err != ErrNoOutput {
+		t.Errorf("ReachableInputs without output: err = %v, want ErrNoOutput", err)
+	}
+	if _, err := n.ComputeStats(); err != ErrNoOutput {
+		t.Errorf("ComputeStats without output: err = %v, want ErrNoOutput", err)
+	}
+	if _, err := n.DOT("x"); err != ErrNoOutput {
+		t.Errorf("DOT without output: err = %v, want ErrNoOutput", err)
+	}
+}
+
+func TestAtLeastMatchesPopcount(t *testing.T) {
+	for nvars := 1; nvars <= 5; nvars++ {
+		for k := 0; k <= nvars+1; k++ {
+			n := New()
+			xs := make([]GateID, nvars)
+			for i := range xs {
+				xs[i] = n.Input(string(rune('a' + i)))
+			}
+			n.SetOutput(n.AtLeast(k, xs...))
+			assign := make([]bool, nvars)
+			for m := 0; m < 1<<nvars; m++ {
+				for i := range assign {
+					assign[i] = m&(1<<i) != 0
+				}
+				got, err := n.Eval(assign)
+				if err != nil {
+					t.Fatalf("Eval: %v", err)
+				}
+				want := bits.OnesCount(uint(m)) >= k
+				if got != want {
+					t.Errorf("AtLeast(%d of %d), mask %b: got %v, want %v", k, nvars, m, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestVisitDepthFirstOrder(t *testing.T) {
+	// Build f = (a ∧ b) ∨ c. Post-order leftmost visit must be
+	// a, b, and, c, or.
+	n := New()
+	a, b, c := n.Input("a"), n.Input("b"), n.Input("c")
+	and := n.And(a, b)
+	or := n.Or(and, c)
+	n.SetOutput(or)
+	var seq []GateID
+	if err := n.VisitDepthFirst(func(id GateID, _ Gate) { seq = append(seq, id) }); err != nil {
+		t.Fatalf("VisitDepthFirst: %v", err)
+	}
+	want := []GateID{a, b, and, c, or}
+	if len(seq) != len(want) {
+		t.Fatalf("visit sequence %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("visit sequence %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestVisitDepthFirstVisitsSharedOnce(t *testing.T) {
+	n := New()
+	a, b := n.Input("a"), n.Input("b")
+	shared := n.And(a, b)
+	n.SetOutput(n.Or(shared, n.Not(shared)))
+	count := 0
+	if err := n.VisitDepthFirst(func(id GateID, g Gate) {
+		if id == shared {
+			count++
+		}
+	}); err != nil {
+		t.Fatalf("VisitDepthFirst: %v", err)
+	}
+	if count != 1 {
+		t.Errorf("shared gate visited %d times, want 1", count)
+	}
+}
+
+func TestReachableInputsSkipsUnreachable(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	n.Input("unused")
+	c := n.Input("c")
+	n.SetOutput(n.Or(c, a)) // c discovered before a
+	got, err := n.ReachableInputs()
+	if err != nil {
+		t.Fatalf("ReachableInputs: %v", err)
+	}
+	if len(got) != 2 || got[0] != c || got[1] != a {
+		t.Errorf("ReachableInputs = %v, want [%d %d]", got, c, a)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	n := New()
+	a, b, c := n.Input("a"), n.Input("b"), n.Input("c")
+	and := n.And(a, b, c)
+	n.SetOutput(n.Or(and, n.Not(a)))
+	s, err := n.ComputeStats()
+	if err != nil {
+		t.Fatalf("ComputeStats: %v", err)
+	}
+	if s.Inputs != 3 {
+		t.Errorf("Inputs = %d, want 3", s.Inputs)
+	}
+	if s.Gates != 3 {
+		t.Errorf("Gates = %d, want 3 (and, not, or)", s.Gates)
+	}
+	if s.MaxFanin != 3 {
+		t.Errorf("MaxFanin = %d, want 3", s.MaxFanin)
+	}
+	if s.Depth != 2 {
+		t.Errorf("Depth = %d, want 2", s.Depth)
+	}
+	if s.Reachable != 3 {
+		t.Errorf("Reachable = %d, want 3", s.Reachable)
+	}
+	if s.ByKind[AndKind] != 1 || s.ByKind[OrKind] != 1 || s.ByKind[NotKind] != 1 {
+		t.Errorf("ByKind = %v", s.ByKind)
+	}
+}
+
+func TestNumGatesExcludesInputsAndConstants(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	n.Const(true)
+	n.SetOutput(n.Not(a))
+	if g := n.NumGates(); g != 1 {
+		t.Errorf("NumGates = %d, want 1", g)
+	}
+	if nn := n.NumNodes(); nn != 3 {
+		t.Errorf("NumNodes = %d, want 3", nn)
+	}
+}
+
+func TestDOTContainsAllNodes(t *testing.T) {
+	n := New()
+	a, b := n.Input("a"), n.Input("b")
+	n.SetOutput(n.And(a, b))
+	dot, err := n.DOT("tiny")
+	if err != nil {
+		t.Fatalf("DOT: %v", err)
+	}
+	for _, frag := range []string{"digraph", `label="a"`, `label="b"`, `label="and"`, "-> out"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT output missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+// Property: De Morgan — ¬(a ∧ b) ≡ ¬a ∨ ¬b, checked by comparing truth
+// tables of independently built netlists over random gate structures.
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(a, b, c bool) bool {
+		n1 := New()
+		x, y, z := n1.Input("x"), n1.Input("y"), n1.Input("z")
+		n1.SetOutput(n1.Not(n1.And(x, n1.Or(y, z))))
+		v1, err := n1.Eval([]bool{a, b, c})
+		if err != nil {
+			return false
+		}
+		n2 := New()
+		x2, y2, z2 := n2.Input("x"), n2.Input("y"), n2.Input("z")
+		n2.SetOutput(n2.Or(n2.Not(x2), n2.And(n2.Not(y2), n2.Not(z2))))
+		v2, err := n2.Eval([]bool{a, b, c})
+		if err != nil {
+			return false
+		}
+		return v1 == v2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: structural sharing never changes semantics — building the
+// same expression twice through different call sequences yields gates
+// that evaluate identically.
+func TestQuickSharingSemantics(t *testing.T) {
+	f := func(m uint8) bool {
+		n := New()
+		a, b, c := n.Input("a"), n.Input("b"), n.Input("c")
+		g1 := n.Or(n.And(a, b), c)
+		_ = n.Xor(a, b, c) // interleave unrelated construction
+		g2 := n.Or(n.And(a, b), c)
+		if g1 != g2 {
+			return false
+		}
+		n.SetOutput(g1)
+		assign := []bool{m&1 != 0, m&2 != 0, m&4 != 0}
+		v, err := n.Eval(assign)
+		if err != nil {
+			return false
+		}
+		return v == ((assign[0] && assign[1]) || assign[2])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalTruthHelper(t *testing.T) {
+	n := New()
+	a, b := n.Input("a"), n.Input("b")
+	n.SetOutput(n.Xor(a, b))
+	if got := evalTruth(t, n); got != 0b0110 {
+		t.Errorf("xor truth table = %04b, want 0110", got)
+	}
+}

@@ -1,0 +1,123 @@
+// Package montecarlo estimates yield by simulation — the alternative
+// approach the paper's introduction weighs against the combinatorial
+// method: not limited by system complexity, but expensive and without
+// strict error control. It serves as the baseline benchmark and as an
+// independent statistical cross-check of the combinatorial results.
+package montecarlo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"socyield/internal/defects"
+	"socyield/internal/yield"
+)
+
+// Options configure a simulation run.
+type Options struct {
+	// Defects is the distribution of the number of defects (required).
+	Defects defects.Distribution
+	// Samples is the number of simulated dies (required, > 0).
+	Samples int
+	// Seed seeds the deterministic PRNG.
+	Seed int64
+	// MaxDefectsPerDie caps the per-die defect count sampled from the
+	// distribution's inverse CDF walk (default 10000).
+	MaxDefectsPerDie int
+}
+
+// Result is a simulation estimate with a normal-approximation
+// confidence interval.
+type Result struct {
+	// Yield is the point estimate: fraction of simulated dies that
+	// function.
+	Yield float64
+	// StdErr is the standard error of the estimate.
+	StdErr float64
+	// Samples echoes the sample count.
+	Samples int
+}
+
+// CI returns the half-width of the confidence interval at the given
+// number of standard errors (1.96 ≈ 95%).
+func (r Result) CI(z float64) float64 { return z * r.StdErr }
+
+// Estimate simulates dies: each die draws a defect count from
+// Options.Defects, each defect independently lands on component i and
+// is lethal with probability P_i (with probability 1-ΣP_i it is
+// harmless), and the fault tree decides whether the die functions.
+func Estimate(sys *yield.System, opts Options) (Result, error) {
+	if err := sys.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.Defects == nil {
+		return Result{}, errors.New("montecarlo: Options.Defects is required")
+	}
+	if opts.Samples <= 0 {
+		return Result{}, fmt.Errorf("montecarlo: Samples = %d, need > 0", opts.Samples)
+	}
+	maxDefects := opts.MaxDefectsPerDie
+	if maxDefects == 0 {
+		maxDefects = 10000
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	// Cumulative P_i for component sampling.
+	c := len(sys.Components)
+	cum := make([]float64, c)
+	acc := 0.0
+	for i, comp := range sys.Components {
+		acc += comp.P
+		cum[i] = acc
+	}
+	pl := acc
+
+	sampleCount := func() (int, error) {
+		u := rng.Float64()
+		cdf := 0.0
+		for k := 0; k <= maxDefects; k++ {
+			cdf += opts.Defects.PMF(k)
+			if u < cdf {
+				return k, nil
+			}
+		}
+		return 0, fmt.Errorf("montecarlo: defect count sampling exceeded %d (tail too heavy)", maxDefects)
+	}
+
+	failed := make([]bool, c)
+	functioning := 0
+	for s := 0; s < opts.Samples; s++ {
+		k, err := sampleCount()
+		if err != nil {
+			return Result{}, err
+		}
+		for i := range failed {
+			failed[i] = false
+		}
+		for d := 0; d < k; d++ {
+			u := rng.Float64()
+			if u >= pl {
+				continue // harmless defect
+			}
+			idx := sort.SearchFloat64s(cum, u)
+			if idx < c {
+				failed[idx] = true
+			}
+		}
+		down, err := sys.FaultTree.Eval(failed)
+		if err != nil {
+			return Result{}, err
+		}
+		if !down {
+			functioning++
+		}
+	}
+	p := float64(functioning) / float64(opts.Samples)
+	return Result{
+		Yield:   p,
+		StdErr:  math.Sqrt(p * (1 - p) / float64(opts.Samples)),
+		Samples: opts.Samples,
+	}, nil
+}

@@ -1,0 +1,134 @@
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"socyield/internal/defects"
+	"socyield/internal/logic"
+	"socyield/internal/yield"
+)
+
+func tmr(p float64) *yield.System {
+	f := logic.New()
+	a, b, c := f.Input("a"), f.Input("b"), f.Input("c")
+	f.SetOutput(f.Or(f.And(a, b), f.And(a, c), f.And(b, c)))
+	return &yield.System{
+		Name:       "tmr",
+		Components: []yield.Component{{Name: "a", P: p}, {Name: "b", P: p}, {Name: "c", P: p}},
+		FaultTree:  f,
+	}
+}
+
+func TestEstimateMatchesCombinatorial(t *testing.T) {
+	sys := tmr(0.15)
+	dist, _ := defects.NewNegativeBinomial(2, 2)
+	exact, err := yield.Evaluate(sys, yield.Options{Defects: dist, Epsilon: 1e-7})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	est, err := Estimate(sys, Options{Defects: dist, Samples: 200000, Seed: 42})
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	// 5 standard errors ≈ 1-in-3.5M false-failure rate.
+	if diff := math.Abs(est.Yield - exact.Yield); diff > 5*est.StdErr+1e-7 {
+		t.Errorf("MC %v vs exact %v: diff %v > 5σ = %v", est.Yield, exact.Yield, diff, 5*est.StdErr)
+	}
+	if est.Samples != 200000 {
+		t.Errorf("Samples = %d", est.Samples)
+	}
+	if est.CI(1.96) <= 0 {
+		t.Errorf("CI = %v", est.CI(1.96))
+	}
+}
+
+func TestEstimateDeterministicSeed(t *testing.T) {
+	sys := tmr(0.1)
+	dist := defects.Poisson{Lambda: 1}
+	a, err := Estimate(sys, Options{Defects: dist, Samples: 5000, Seed: 7})
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	b, err := Estimate(sys, Options{Defects: dist, Samples: 5000, Seed: 7})
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if a.Yield != b.Yield {
+		t.Errorf("same seed, different results: %v vs %v", a.Yield, b.Yield)
+	}
+	c, _ := Estimate(sys, Options{Defects: dist, Samples: 5000, Seed: 8})
+	if a.Yield == c.Yield {
+		t.Log("different seeds coincided (possible but unlikely)")
+	}
+}
+
+func TestEstimateSeriesClosedForm(t *testing.T) {
+	// Series system: yield = P(no lethal defect) = Q'_0.
+	f := logic.New()
+	f.SetOutput(f.Or(f.Input("a"), f.Input("b")))
+	sys := &yield.System{
+		Name:       "series",
+		Components: []yield.Component{{Name: "a", P: 0.3}, {Name: "b", P: 0.2}},
+		FaultTree:  f,
+	}
+	dist := defects.Poisson{Lambda: 1}
+	lethal, _ := defects.Thin(dist, 0.5)
+	want := lethal.PMF(0) // e^-0.5
+	est, err := Estimate(sys, Options{Defects: dist, Samples: 300000, Seed: 1})
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if diff := math.Abs(est.Yield - want); diff > 5*est.StdErr {
+		t.Errorf("MC %v vs closed form %v (5σ = %v)", est.Yield, want, 5*est.StdErr)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	sys := tmr(0.1)
+	dist := defects.Poisson{Lambda: 1}
+	if _, err := Estimate(sys, Options{Samples: 100}); err == nil {
+		t.Error("missing distribution accepted")
+	}
+	if _, err := Estimate(sys, Options{Defects: dist}); err == nil {
+		t.Error("zero samples accepted")
+	}
+	bad := tmr(-0.1)
+	if _, err := Estimate(bad, Options{Defects: dist, Samples: 100}); err == nil {
+		t.Error("invalid system accepted")
+	}
+}
+
+func TestEstimateHeavyTailGuard(t *testing.T) {
+	sys := tmr(0.1)
+	dist := defects.Poisson{Lambda: 5}
+	if _, err := Estimate(sys, Options{Defects: dist, Samples: 100, Seed: 3, MaxDefectsPerDie: 1}); err == nil {
+		t.Error("per-die cap violation not reported")
+	}
+}
+
+func TestEstimateLargerSystem(t *testing.T) {
+	// A 2-of-8 threshold system against the combinatorial method.
+	f := logic.New()
+	ids := make([]logic.GateID, 8)
+	comps := make([]yield.Component, 8)
+	for i := range ids {
+		ids[i] = f.Input(fmt.Sprintf("c%d", i))
+		comps[i] = yield.Component{Name: fmt.Sprintf("c%d", i), P: 0.05}
+	}
+	f.SetOutput(f.AtLeast(3, ids...))
+	sys := &yield.System{Name: "k3of8", Components: comps, FaultTree: f}
+	dist, _ := defects.NewNegativeBinomial(3, 1)
+	exact, err := yield.Evaluate(sys, yield.Options{Defects: dist, Epsilon: 1e-7})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	est, err := Estimate(sys, Options{Defects: dist, Samples: 100000, Seed: 11})
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if diff := math.Abs(est.Yield - exact.Yield); diff > 5*est.StdErr+1e-7 {
+		t.Errorf("MC %v vs exact %v: diff %v", est.Yield, exact.Yield, diff)
+	}
+}

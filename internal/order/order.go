@@ -1,0 +1,515 @@
+// Package order implements the variable-ordering heuristics of the
+// paper: the static gate-level heuristics topology (Nikolskaïa, Rauzy &
+// Sherman), weight (Minato, Ishiura & Yajima) and H4 (Bouissou, Bruyère
+// & Rauzy), and their assembly into orderings of the multiple-valued
+// variables w, v_1..v_M and of the groups of binary variables encoding
+// each multiple-valued variable.
+package order
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"socyield/internal/logic"
+)
+
+// Heuristic selects a gate-level input-ordering heuristic.
+type Heuristic uint8
+
+// The three heuristics of Section 2 of the paper.
+const (
+	// Topology orders inputs as discovered by a depth-first leftmost
+	// traversal of the gate description.
+	Topology Heuristic = iota + 1
+	// Weight assigns weight 1 to inputs and the fan-in weight sum to
+	// gates, stably reorders every fan-in by increasing weight, and
+	// then orders inputs by depth-first leftmost traversal.
+	Weight
+	// H4 performs a depth-first leftmost traversal in which the fan-in
+	// of a gate is sorted, when the gate is first visited, by (1) the
+	// number of not-yet-visited inputs in its dependency cone and (2)
+	// the sum of the indices already assigned to visited inputs in its
+	// cone, preserving the original order on ties.
+	H4
+)
+
+// String returns the paper's short name for the heuristic.
+func (h Heuristic) String() string {
+	switch h {
+	case Topology:
+		return "t"
+	case Weight:
+		return "w"
+	case H4:
+		return "h"
+	default:
+		return fmt.Sprintf("heuristic(%d)", uint8(h))
+	}
+}
+
+// InputRanks runs the heuristic on the netlist and returns the rank
+// (0-based position in the computed order) of every declared input,
+// indexed by input declaration ordinal. Inputs outside the output cone
+// are ranked after all reachable inputs, in declaration order.
+func InputRanks(n *logic.Netlist, h Heuristic) ([]int, error) {
+	var seq []logic.GateID
+	var err error
+	switch h {
+	case Topology:
+		seq, err = n.ReachableInputs()
+	case Weight:
+		seq, err = weightOrder(n)
+	case H4:
+		seq, err = h4Order(n)
+	default:
+		return nil, fmt.Errorf("order: unknown heuristic %v", h)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ranks := make([]int, n.NumInputs())
+	for i := range ranks {
+		ranks[i] = -1
+	}
+	next := 0
+	for _, id := range seq {
+		ranks[n.InputOrdinal(id)] = next
+		next++
+	}
+	for ord, r := range ranks {
+		if r == -1 {
+			ranks[ord] = next
+			next++
+		}
+	}
+	return ranks, nil
+}
+
+// weightOrder implements the weight heuristic: compute DAG weights
+// bottom-up, then traverse depth-first leftmost with each gate's fan-in
+// stably re-sorted by increasing weight.
+func weightOrder(n *logic.Netlist) ([]logic.GateID, error) {
+	out, ok := n.Output()
+	if !ok {
+		return nil, logic.ErrNoOutput
+	}
+	weights := make([]float64, n.NumNodes())
+	if err := n.VisitDepthFirst(func(id logic.GateID, g logic.Gate) {
+		switch g.Kind {
+		case logic.InputKind:
+			weights[id] = 1
+		case logic.ConstKind:
+			weights[id] = 0
+		default:
+			var w float64
+			for _, f := range g.Fanin {
+				w += weights[f]
+			}
+			weights[id] = w
+		}
+	}); err != nil {
+		return nil, err
+	}
+	var inputs []logic.GateID
+	seen := make([]bool, n.NumNodes())
+	var walk func(id logic.GateID)
+	walk = func(id logic.GateID) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		g := n.Gate(id)
+		if g.Kind == logic.InputKind {
+			inputs = append(inputs, id)
+			return
+		}
+		fanin := make([]logic.GateID, len(g.Fanin))
+		copy(fanin, g.Fanin)
+		sort.SliceStable(fanin, func(a, b int) bool {
+			return weights[fanin[a]] < weights[fanin[b]]
+		})
+		for _, f := range fanin {
+			walk(f)
+		}
+	}
+	walk(out)
+	return inputs, nil
+}
+
+// bitset is a fixed-capacity bitset over input ordinals.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) orInto(other bitset) {
+	for i := range b {
+		b[i] |= other[i]
+	}
+}
+
+// h4Order implements the H4 heuristic.
+func h4Order(n *logic.Netlist) ([]logic.GateID, error) {
+	out, ok := n.Output()
+	if !ok {
+		return nil, logic.ErrNoOutput
+	}
+	// Dependency cones as input-ordinal bitsets, bottom-up.
+	cones := make([]bitset, n.NumNodes())
+	if err := n.VisitDepthFirst(func(id logic.GateID, g logic.Gate) {
+		c := newBitset(n.NumInputs())
+		if g.Kind == logic.InputKind {
+			c.set(n.InputOrdinal(id))
+		}
+		for _, f := range g.Fanin {
+			c.orInto(cones[f])
+		}
+		cones[id] = c
+	}); err != nil {
+		return nil, err
+	}
+	visited := make([]bool, n.NumInputs()) // by input ordinal
+	index := make([]int, n.NumInputs())    // assigned order index
+	var inputs []logic.GateID
+	seen := make([]bool, n.NumNodes())
+	var walk func(id logic.GateID)
+	walk = func(id logic.GateID) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		g := n.Gate(id)
+		if g.Kind == logic.InputKind {
+			ord := n.InputOrdinal(id)
+			if !visited[ord] {
+				visited[ord] = true
+				index[ord] = len(inputs)
+				inputs = append(inputs, id)
+			}
+			return
+		}
+		fanin := make([]logic.GateID, len(g.Fanin))
+		copy(fanin, g.Fanin)
+		// Criteria are evaluated now, at first visit of this gate.
+		type key struct{ nonVisited, sumIdx int }
+		keys := make(map[logic.GateID]key, len(fanin))
+		for _, f := range fanin {
+			if _, done := keys[f]; done {
+				continue
+			}
+			var k key
+			c := cones[f]
+			for ord := 0; ord < n.NumInputs(); ord++ {
+				if !c.get(ord) {
+					continue
+				}
+				if visited[ord] {
+					k.sumIdx += index[ord]
+				} else {
+					k.nonVisited++
+				}
+			}
+			keys[f] = k
+		}
+		sort.SliceStable(fanin, func(a, b int) bool {
+			ka, kb := keys[fanin[a]], keys[fanin[b]]
+			if ka.nonVisited != kb.nonVisited {
+				return ka.nonVisited < kb.nonVisited
+			}
+			return ka.sumIdx < kb.sumIdx
+		})
+		for _, f := range fanin {
+			walk(f)
+		}
+	}
+	walk(out)
+	return inputs, nil
+}
+
+// MVKind selects the ordering of the multiple-valued variables
+// w, v_1..v_M (Section 2 of the paper).
+type MVKind uint8
+
+// The seven orderings the paper experiments with.
+const (
+	// MVWV is w, v_1, …, v_M.
+	MVWV MVKind = iota + 1
+	// MVWVR is w, v_M, …, v_1.
+	MVWVR
+	// MVVW is v_1, …, v_M, w.
+	MVVW
+	// MVVRW is v_M, …, v_1, w.
+	MVVRW
+	// MVTopology sorts the multiple-valued variables by increasing
+	// average topology-heuristic index over their bit groups.
+	MVTopology
+	// MVWeight does the same with the weight heuristic.
+	MVWeight
+	// MVH4 does the same with the H4 heuristic.
+	MVH4
+)
+
+// String returns the paper's name of the ordering.
+func (k MVKind) String() string {
+	switch k {
+	case MVWV:
+		return "wv"
+	case MVWVR:
+		return "wvr"
+	case MVVW:
+		return "vw"
+	case MVVRW:
+		return "vrw"
+	case MVTopology:
+		return "t"
+	case MVWeight:
+		return "w"
+	case MVH4:
+		return "h"
+	default:
+		return fmt.Sprintf("mv(%d)", uint8(k))
+	}
+}
+
+// ParseMVKind parses the paper's name of an MV ordering.
+func ParseMVKind(s string) (MVKind, error) {
+	for _, k := range []MVKind{MVWV, MVWVR, MVVW, MVVRW, MVTopology, MVWeight, MVH4} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("order: unknown MV ordering %q", s)
+}
+
+// BitKind selects the ordering of the binary variables inside each
+// group encoding one multiple-valued variable.
+type BitKind uint8
+
+// The five bit-group orderings the paper experiments with.
+const (
+	// BitML orders most to least significant bit.
+	BitML BitKind = iota + 1
+	// BitLM orders least to most significant bit.
+	BitLM
+	// BitTopology sorts the group's bits by increasing
+	// topology-heuristic index.
+	BitTopology
+	// BitWeight does the same with the weight heuristic.
+	BitWeight
+	// BitH4 does the same with the H4 heuristic.
+	BitH4
+)
+
+// String returns the paper's name of the ordering.
+func (k BitKind) String() string {
+	switch k {
+	case BitML:
+		return "ml"
+	case BitLM:
+		return "lm"
+	case BitTopology:
+		return "t"
+	case BitWeight:
+		return "w"
+	case BitH4:
+		return "h"
+	default:
+		return fmt.Sprintf("bit(%d)", uint8(k))
+	}
+}
+
+// ParseBitKind parses the paper's name of a bit-group ordering.
+func ParseBitKind(s string) (BitKind, error) {
+	for _, k := range []BitKind{BitML, BitLM, BitTopology, BitWeight, BitH4} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("order: unknown bit ordering %q", s)
+}
+
+// Group describes the binary encoding of one multiple-valued variable:
+// the input ordinals (in the G netlist) of its bits, most significant
+// first.
+type Group struct {
+	Name string
+	Bits []int // input declaration ordinals, MSB first
+}
+
+// Plan is a complete variable-ordering decision: which group occupies
+// which region of levels and which bit occupies which level.
+type Plan struct {
+	// GroupSeq[i] is the index (into the natural w,v_1..v_M slice)
+	// of the multiple-valued variable at MV level i.
+	GroupSeq []int
+	// BinaryLevels[ord] is the BDD level assigned to the input with
+	// declaration ordinal ord. Groups occupy contiguous level ranges
+	// following GroupSeq.
+	BinaryLevels []int
+	// BitAtLevel[level] is the input ordinal placed at that level
+	// (the inverse of BinaryLevels).
+	BitAtLevel []int
+}
+
+// heuristicOf maps matching MV and bit orderings onto the underlying
+// gate-level heuristic.
+func heuristicOf(mv MVKind, bits BitKind) (Heuristic, bool) {
+	switch {
+	case mv == MVTopology || bits == BitTopology:
+		return Topology, true
+	case mv == MVWeight || bits == BitWeight:
+		return Weight, true
+	case mv == MVH4 || bits == BitH4:
+		return H4, true
+	}
+	return 0, false
+}
+
+// Compatible reports whether the paper allows combining the given MV
+// and bit orderings: ml and lm combine with everything, while a
+// heuristic bit ordering must match the heuristic MV ordering.
+func Compatible(mv MVKind, bits BitKind) bool {
+	switch bits {
+	case BitML, BitLM:
+		return true
+	case BitTopology:
+		return mv == MVTopology
+	case BitWeight:
+		return mv == MVWeight
+	case BitH4:
+		return mv == MVH4
+	default:
+		return false
+	}
+}
+
+// Assemble computes the variable-ordering plan for the G netlist whose
+// multiple-valued variables are encoded by the given groups (natural
+// order: groups[0] = w, groups[1..M] = v_1..v_M). The netlist is
+// consulted only for the heuristic orderings.
+func Assemble(n *logic.Netlist, groups []Group, mv MVKind, bits BitKind) (*Plan, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("order: no variable groups")
+	}
+	var ranks []int
+	if h, need := heuristicOf(mv, bits); need {
+		var err error
+		ranks, err = InputRanks(n, h)
+		if err != nil {
+			return nil, err
+		}
+	}
+	seq, err := groupSequence(groups, mv, ranks)
+	if err != nil {
+		return nil, err
+	}
+	nbits := 0
+	for _, g := range groups {
+		nbits += len(g.Bits)
+	}
+	plan := &Plan{
+		GroupSeq:     seq,
+		BinaryLevels: make([]int, n.NumInputs()),
+		BitAtLevel:   make([]int, 0, nbits),
+	}
+	for i := range plan.BinaryLevels {
+		plan.BinaryLevels[i] = -1
+	}
+	for _, gi := range seq {
+		ordered, err := groupBits(groups[gi], bits, ranks)
+		if err != nil {
+			return nil, err
+		}
+		for _, ord := range ordered {
+			if ord < 0 || ord >= n.NumInputs() {
+				return nil, fmt.Errorf("order: group %q references input ordinal %d outside netlist (%d inputs)", groups[gi].Name, ord, n.NumInputs())
+			}
+			if plan.BinaryLevels[ord] != -1 {
+				return nil, fmt.Errorf("order: input ordinal %d appears in more than one group", ord)
+			}
+			plan.BinaryLevels[ord] = len(plan.BitAtLevel)
+			plan.BitAtLevel = append(plan.BitAtLevel, ord)
+		}
+	}
+	return plan, nil
+}
+
+func groupSequence(groups []Group, mv MVKind, ranks []int) ([]int, error) {
+	m := len(groups) - 1 // groups[0] is w
+	seq := make([]int, 0, len(groups))
+	switch mv {
+	case MVWV:
+		for i := 0; i <= m; i++ {
+			seq = append(seq, i)
+		}
+	case MVWVR:
+		seq = append(seq, 0)
+		for i := m; i >= 1; i-- {
+			seq = append(seq, i)
+		}
+	case MVVW:
+		for i := 1; i <= m; i++ {
+			seq = append(seq, i)
+		}
+		seq = append(seq, 0)
+	case MVVRW:
+		for i := m; i >= 1; i-- {
+			seq = append(seq, i)
+		}
+		seq = append(seq, 0)
+	case MVTopology, MVWeight, MVH4:
+		if ranks == nil {
+			return nil, fmt.Errorf("order: heuristic MV ordering %v without computed ranks", mv)
+		}
+		type ga struct {
+			idx int
+			avg float64
+		}
+		avgs := make([]ga, len(groups))
+		for i, g := range groups {
+			sum := 0.0
+			for _, ord := range g.Bits {
+				if ord < 0 || ord >= len(ranks) {
+					return nil, fmt.Errorf("order: group %q bit ordinal %d out of range", g.Name, ord)
+				}
+				sum += float64(ranks[ord])
+			}
+			avg := math.Inf(1)
+			if len(g.Bits) > 0 {
+				avg = sum / float64(len(g.Bits))
+			}
+			avgs[i] = ga{idx: i, avg: avg}
+		}
+		sort.SliceStable(avgs, func(a, b int) bool { return avgs[a].avg < avgs[b].avg })
+		for _, a := range avgs {
+			seq = append(seq, a.idx)
+		}
+	default:
+		return nil, fmt.Errorf("order: unknown MV ordering %v", mv)
+	}
+	return seq, nil
+}
+
+func groupBits(g Group, bits BitKind, ranks []int) ([]int, error) {
+	out := make([]int, len(g.Bits))
+	copy(out, g.Bits)
+	switch bits {
+	case BitML:
+		// as stored: MSB first
+	case BitLM:
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	case BitTopology, BitWeight, BitH4:
+		if ranks == nil {
+			return nil, fmt.Errorf("order: heuristic bit ordering %v without computed ranks", bits)
+		}
+		sort.SliceStable(out, func(a, b int) bool { return ranks[out[a]] < ranks[out[b]] })
+	default:
+		return nil, fmt.Errorf("order: unknown bit ordering %v", bits)
+	}
+	return out, nil
+}

@@ -1,0 +1,370 @@
+package order
+
+import (
+	"testing"
+
+	"socyield/internal/logic"
+)
+
+// buildSkewed returns a netlist out = OR(AND(a,b,c), d) with inputs
+// declared a,b,c,d. Weight puts d (weight 1) before the AND (weight 3).
+func buildSkewed() *logic.Netlist {
+	n := logic.New()
+	a, b, c, d := n.Input("a"), n.Input("b"), n.Input("c"), n.Input("d")
+	n.SetOutput(n.Or(n.And(a, b, c), d))
+	return n
+}
+
+func ranksToSeq(t *testing.T, n *logic.Netlist, ranks []int) []string {
+	t.Helper()
+	names := n.InputNames()
+	out := make([]string, len(ranks))
+	for ord, r := range ranks {
+		if r < 0 || r >= len(out) {
+			t.Fatalf("rank %d of ordinal %d out of range", r, ord)
+		}
+		if out[r] != "" {
+			t.Fatalf("duplicate rank %d", r)
+		}
+		out[r] = names[ord]
+	}
+	return out
+}
+
+func TestTopologyOrder(t *testing.T) {
+	n := buildSkewed()
+	ranks, err := InputRanks(n, Topology)
+	if err != nil {
+		t.Fatalf("InputRanks: %v", err)
+	}
+	seq := ranksToSeq(t, n, ranks)
+	want := []string{"a", "b", "c", "d"}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("topology order = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestWeightOrderPrefersLightFanin(t *testing.T) {
+	n := buildSkewed()
+	ranks, err := InputRanks(n, Weight)
+	if err != nil {
+		t.Fatalf("InputRanks: %v", err)
+	}
+	seq := ranksToSeq(t, n, ranks)
+	// OR's fan-in re-sorted by weight: d (1) before AND (3).
+	want := []string{"d", "a", "b", "c"}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("weight order = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestWeightOrderStableOnTies(t *testing.T) {
+	n := logic.New()
+	a, b := n.Input("a"), n.Input("b")
+	n.SetOutput(n.Or(a, b)) // equal weights: original order kept
+	ranks, _ := InputRanks(n, Weight)
+	seq := ranksToSeq(t, n, ranks)
+	if seq[0] != "a" || seq[1] != "b" {
+		t.Errorf("tie not stable: %v", seq)
+	}
+}
+
+func TestH4PrefersFewUnvisitedAndVisitedReuse(t *testing.T) {
+	// out = OR( AND(a,b), AND(b,c,d) ). At the OR, both fan-ins have
+	// only unvisited inputs: AND(a,b) has 2, AND(b,c,d) has 3 → visit
+	// AND(a,b) first (a,b), then AND(b,c,d) adds c,d.
+	n := logic.New()
+	a, b, c, d := n.Input("a"), n.Input("b"), n.Input("c"), n.Input("d")
+	left := n.And(b, c, d)
+	right := n.And(a, b)
+	n.SetOutput(n.Or(left, right)) // declared with the big cone first
+	ranks, err := InputRanks(n, H4)
+	if err != nil {
+		t.Fatalf("InputRanks: %v", err)
+	}
+	seq := ranksToSeq(t, n, ranks)
+	want := []string{"a", "b", "c", "d"}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("H4 order = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestH4SecondCriterionSumOfVisitedIndices(t *testing.T) {
+	// Criteria are evaluated when a gate is first visited, so a tie on
+	// criterion 1 deeper in the circuit is broken by the sum of the
+	// indices of already-visited inputs.
+	// out = AND( OR(a,b), AND(OR(b,z), OR(a,x)) ).
+	// Visiting OR(a,b) assigns a→0, b→1. At the inner AND, both
+	// fan-ins have one unvisited input; visited-index sums are 1 (b)
+	// vs 0 (a), so OR(a,x) is visited first despite being listed last.
+	n := logic.New()
+	a, b := n.Input("a"), n.Input("b")
+	z, x := n.Input("z"), n.Input("x")
+	inner := n.And(n.Or(b, z), n.Or(a, x))
+	n.SetOutput(n.And(n.Or(a, b), inner))
+	ranks, err := InputRanks(n, H4)
+	if err != nil {
+		t.Fatalf("InputRanks: %v", err)
+	}
+	seq := ranksToSeq(t, n, ranks)
+	want := []string{"a", "b", "x", "z"}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("H4 order = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestUnreachableInputsRankedLast(t *testing.T) {
+	n := logic.New()
+	a := n.Input("a")
+	n.Input("dead1")
+	b := n.Input("b")
+	n.Input("dead2")
+	n.SetOutput(n.And(b, a))
+	for _, h := range []Heuristic{Topology, Weight, H4} {
+		ranks, err := InputRanks(n, h)
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		seq := ranksToSeq(t, n, ranks)
+		if seq[0] != "b" || seq[1] != "a" {
+			t.Errorf("%v: reachable prefix = %v", h, seq[:2])
+		}
+		if seq[2] != "dead1" || seq[3] != "dead2" {
+			t.Errorf("%v: unreachable tail = %v, want [dead1 dead2]", h, seq[2:])
+		}
+	}
+}
+
+func TestInputRanksErrors(t *testing.T) {
+	n := logic.New()
+	n.Input("a")
+	if _, err := InputRanks(n, Topology); err == nil {
+		t.Error("no-output netlist accepted")
+	}
+	n.SetOutput(n.Input("a"))
+	if _, err := InputRanks(n, Heuristic(99)); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+}
+
+// groupsFixture builds a netlist with 3 groups: w (2 bits), v1 (2
+// bits), v2 (2 bits), output touching them in a deterministic order,
+// and returns it with natural groups.
+func groupsFixture() (*logic.Netlist, []Group) {
+	n := logic.New()
+	// Declare in natural MSB-first order per group.
+	w1, w0 := n.Input("w.1"), n.Input("w.0")
+	a1, a0 := n.Input("v1.1"), n.Input("v1.0")
+	b1, b0 := n.Input("v2.1"), n.Input("v2.0")
+	// Touch v2 before v1 so topology ranks v2's bits earlier.
+	n.SetOutput(n.Or(n.And(w1, b0, b1), n.And(w0, a0, a1)))
+	groups := []Group{
+		{Name: "w", Bits: []int{0, 1}},
+		{Name: "v1", Bits: []int{2, 3}},
+		{Name: "v2", Bits: []int{4, 5}},
+	}
+	return n, groups
+}
+
+func levelsOf(t *testing.T, n *logic.Netlist, p *Plan) []string {
+	t.Helper()
+	names := n.InputNames()
+	out := make([]string, len(p.BitAtLevel))
+	for lv, ord := range p.BitAtLevel {
+		out[lv] = names[ord]
+	}
+	return out
+}
+
+func seqEquals(a []string, b ...string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAssembleFixedMVOrderings(t *testing.T) {
+	n, groups := groupsFixture()
+	cases := []struct {
+		mv   MVKind
+		want []string
+	}{
+		{MVWV, []string{"w.1", "w.0", "v1.1", "v1.0", "v2.1", "v2.0"}},
+		{MVWVR, []string{"w.1", "w.0", "v2.1", "v2.0", "v1.1", "v1.0"}},
+		{MVVW, []string{"v1.1", "v1.0", "v2.1", "v2.0", "w.1", "w.0"}},
+		{MVVRW, []string{"v2.1", "v2.0", "v1.1", "v1.0", "w.1", "w.0"}},
+	}
+	for _, tc := range cases {
+		p, err := Assemble(n, groups, tc.mv, BitML)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.mv, err)
+		}
+		got := levelsOf(t, n, p)
+		if !seqEquals(got, tc.want...) {
+			t.Errorf("%v: levels = %v, want %v", tc.mv, got, tc.want)
+		}
+	}
+}
+
+func TestAssembleBitLM(t *testing.T) {
+	n, groups := groupsFixture()
+	p, err := Assemble(n, groups, MVWV, BitLM)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	got := levelsOf(t, n, p)
+	if !seqEquals(got, "w.0", "w.1", "v1.0", "v1.1", "v2.0", "v2.1") {
+		t.Errorf("lm levels = %v", got)
+	}
+}
+
+func TestAssembleHeuristicMV(t *testing.T) {
+	n, groups := groupsFixture()
+	// Topology discovery: w.1, v2.0, v2.1, w.0, v1.0, v1.1.
+	// Average ranks: w = (0+3)/2 = 1.5, v2 = (1+2)/2 = 1.5, v1 = 4.5.
+	// Stable sort keeps w before v2 on the tie; v1 last.
+	p, err := Assemble(n, groups, MVTopology, BitML)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	got := levelsOf(t, n, p)
+	if !seqEquals(got, "w.1", "w.0", "v2.1", "v2.0", "v1.1", "v1.0") {
+		t.Errorf("t/ml levels = %v", got)
+	}
+	if p.GroupSeq[0] != 0 || p.GroupSeq[1] != 2 || p.GroupSeq[2] != 1 {
+		t.Errorf("GroupSeq = %v, want [0 2 1]", p.GroupSeq)
+	}
+	// With heuristic bit ordering t, bits follow discovery order within
+	// each group: w.1 before w.0, v2.0 before v2.1, v1.0 before v1.1.
+	p2, err := Assemble(n, groups, MVTopology, BitTopology)
+	if err != nil {
+		t.Fatalf("Assemble t/t: %v", err)
+	}
+	got2 := levelsOf(t, n, p2)
+	if !seqEquals(got2, "w.1", "w.0", "v2.0", "v2.1", "v1.0", "v1.1") {
+		t.Errorf("t/t levels = %v", got2)
+	}
+}
+
+func TestAssembleInvariants(t *testing.T) {
+	n, groups := groupsFixture()
+	for _, mv := range []MVKind{MVWV, MVWVR, MVVW, MVVRW, MVTopology, MVWeight, MVH4} {
+		for _, bits := range []BitKind{BitML, BitLM} {
+			p, err := Assemble(n, groups, mv, bits)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", mv, bits, err)
+			}
+			// BinaryLevels and BitAtLevel must be inverse bijections.
+			if len(p.BitAtLevel) != n.NumInputs() {
+				t.Fatalf("%v/%v: %d levels, want %d", mv, bits, len(p.BitAtLevel), n.NumInputs())
+			}
+			for lv, ord := range p.BitAtLevel {
+				if p.BinaryLevels[ord] != lv {
+					t.Fatalf("%v/%v: inverse mismatch at level %d", mv, bits, lv)
+				}
+			}
+			// Groups must occupy contiguous level ranges.
+			groupAt := make([]int, n.NumInputs())
+			for gi, g := range groups {
+				for _, ord := range g.Bits {
+					groupAt[ord] = gi
+				}
+			}
+			for i := 1; i < len(p.BitAtLevel); i++ {
+				prev, cur := groupAt[p.BitAtLevel[i-1]], groupAt[p.BitAtLevel[i]]
+				if prev != cur {
+					// A group change: cur must not reappear later as prev.
+					for j := i + 1; j < len(p.BitAtLevel); j++ {
+						if groupAt[p.BitAtLevel[j]] == prev {
+							t.Fatalf("%v/%v: group %d split across levels", mv, bits, prev)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	n, groups := groupsFixture()
+	if _, err := Assemble(n, nil, MVWV, BitML); err == nil {
+		t.Error("empty groups accepted")
+	}
+	bad := []Group{{Name: "w", Bits: []int{0, 99}}}
+	if _, err := Assemble(n, bad, MVWV, BitML); err == nil {
+		t.Error("out-of-range ordinal accepted")
+	}
+	dup := []Group{{Name: "w", Bits: []int{0, 1}}, {Name: "v1", Bits: []int{1, 2}}}
+	if _, err := Assemble(n, dup, MVWV, BitML); err == nil {
+		t.Error("duplicated ordinal accepted")
+	}
+	if _, err := Assemble(n, groups, MVKind(99), BitML); err == nil {
+		t.Error("unknown MV kind accepted")
+	}
+	if _, err := Assemble(n, groups, MVWV, BitKind(99)); err == nil {
+		t.Error("unknown bit kind accepted")
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	cases := []struct {
+		mv   MVKind
+		bits BitKind
+		want bool
+	}{
+		{MVWV, BitML, true},
+		{MVVRW, BitLM, true},
+		{MVWeight, BitML, true},
+		{MVWeight, BitWeight, true},
+		{MVWeight, BitTopology, false},
+		{MVTopology, BitTopology, true},
+		{MVTopology, BitH4, false},
+		{MVH4, BitH4, true},
+		{MVWV, BitWeight, false},
+	}
+	for _, tc := range cases {
+		if got := Compatible(tc.mv, tc.bits); got != tc.want {
+			t.Errorf("Compatible(%v,%v) = %v, want %v", tc.mv, tc.bits, got, tc.want)
+		}
+	}
+}
+
+func TestParseNames(t *testing.T) {
+	for _, s := range []string{"wv", "wvr", "vw", "vrw", "t", "w", "h"} {
+		k, err := ParseMVKind(s)
+		if err != nil {
+			t.Errorf("ParseMVKind(%q): %v", s, err)
+		}
+		if k.String() != s {
+			t.Errorf("round-trip %q -> %v", s, k)
+		}
+	}
+	for _, s := range []string{"ml", "lm", "t", "w", "h"} {
+		k, err := ParseBitKind(s)
+		if err != nil {
+			t.Errorf("ParseBitKind(%q): %v", s, err)
+		}
+		if k.String() != s {
+			t.Errorf("round-trip %q -> %v", s, k)
+		}
+	}
+	if _, err := ParseMVKind("nope"); err == nil {
+		t.Error("bad MV name accepted")
+	}
+	if _, err := ParseBitKind("nope"); err == nil {
+		t.Error("bad bit name accepted")
+	}
+}

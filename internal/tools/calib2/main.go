@@ -1,0 +1,164 @@
+// Command calib2 jointly calibrates the OCR-lost constants (NB
+// clustering α, MS weight ratios s = P_IPS/P_IPM and c = P_C/P_IPM)
+// against the paper's Table 4 yields, under the constraint that the
+// truncation points remain M = 6 (λ'=1) and M = 10 (λ'=2) for some ε.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"socyield/internal/benchmarks"
+	"socyield/internal/defects"
+	"socyield/internal/yield"
+)
+
+func weightsFor(sys *yield.System, s, c float64) []float64 {
+	ps := make([]float64, len(sys.Components))
+	total := 0.0
+	for i, comp := range sys.Components {
+		var w float64
+		switch {
+		case comp.Name[:3] == "IPM":
+			w = 1
+		case comp.Name[:3] == "IPS":
+			w = s
+		default:
+			w = c
+		}
+		ps[i] = w
+		total += w
+	}
+	for i := range ps {
+		ps[i] *= 0.5 / total
+	}
+	return ps
+}
+
+func tail(d defects.Distribution, m int) float64 {
+	s := 0.0
+	for k := 0; k <= m; k++ {
+		s += d.PMF(k)
+	}
+	return 1 - s
+}
+
+// mOK reports whether some ε yields M=6 at λ'=1 and M=10 at λ'=2.
+func mOK(alpha float64) bool {
+	d1 := defects.NegativeBinomial{Lambda: 1, Alpha: alpha}
+	d2 := defects.NegativeBinomial{Lambda: 2, Alpha: alpha}
+	lo := math.Max(tail(d1, 6), tail(d2, 10))
+	hi := math.Min(tail(d1, 5), tail(d2, 9))
+	return lo < hi
+}
+
+func qtab(lambda, alpha float64, m int) ([]float64, float64) {
+	d := defects.NegativeBinomial{Lambda: lambda, Alpha: alpha}
+	q := make([]float64, m+1)
+	for k := 0; k <= m; k++ {
+		q[k] = d.PMF(k)
+	}
+	return q, tail(d, m)
+}
+
+func main() {
+	dRef, _ := defects.NewNegativeBinomial(2, 2)
+	dRef2, _ := defects.NewNegativeBinomial(4, 2)
+	ms2, _ := benchmarks.MS(2)
+	ms6, _ := benchmarks.MS(6)
+	r21, err := yield.NewReevaluator(ms2, yield.Options{Defects: dRef, Epsilon: 5e-3})
+	if err != nil {
+		panic(err)
+	}
+	r22, err := yield.NewReevaluator(ms2, yield.Options{Defects: dRef2, Epsilon: 5e-3})
+	if err != nil {
+		panic(err)
+	}
+	r61, err := yield.NewReevaluator(ms6, yield.Options{Defects: dRef, Epsilon: 5e-3})
+	if err != nil {
+		panic(err)
+	}
+	best := math.Inf(1)
+	var bA, bS, bC float64
+	for alpha := 0.3; alpha <= 6.001; alpha += 0.1 {
+		if !mOK(alpha) {
+			continue
+		}
+		q1, t1 := qtab(1, alpha, 6)
+		q2, t2 := qtab(2, alpha, 10)
+		for s := 0.05; s <= 1.5005; s += 0.05 {
+			for c := 0.02; c <= 0.4005; c += 0.01 {
+				p2 := weightsFor(ms2, s, c)
+				pp2 := normalize(p2)
+				y21, err := r21.YieldRaw(pp2, q1, t1)
+				if err != nil {
+					panic(err)
+				}
+				e := math.Abs(y21 - 0.944)
+				if e > best {
+					continue
+				}
+				y22, _ := r22.YieldRaw(pp2, q2, t2)
+				p6 := weightsFor(ms6, s, c)
+				y61, _ := r61.YieldRaw(normalize(p6), q1, t1)
+				e += math.Abs(y22-0.830) + math.Abs(y61-0.975)
+				if e < best {
+					best = e
+					bA, bS, bC = alpha, s, c
+				}
+			}
+		}
+	}
+	fmt.Printf("coarse best α=%.2f s=%.3f c=%.3f err=%.5f\n", bA, bS, bC, best)
+	// Refine around the best.
+	cb := best
+	fA, fS, fC := bA, bS, bC
+	for alpha := bA - 0.12; alpha <= bA+0.12; alpha += 0.02 {
+		if alpha <= 0 || !mOK(alpha) {
+			continue
+		}
+		q1, t1 := qtab(1, alpha, 6)
+		q2, t2 := qtab(2, alpha, 10)
+		for s := bS - 0.06; s <= bS+0.0605; s += 0.005 {
+			if s <= 0 {
+				continue
+			}
+			for c := bC - 0.012; c <= bC+0.01205; c += 0.001 {
+				if c <= 0 {
+					continue
+				}
+				p2 := normalize(weightsFor(ms2, s, c))
+				p6 := normalize(weightsFor(ms6, s, c))
+				y21, _ := r21.YieldRaw(p2, q1, t1)
+				y22, _ := r22.YieldRaw(p2, q2, t2)
+				y61, _ := r61.YieldRaw(p6, q1, t1)
+				e := math.Abs(y21-0.944) + math.Abs(y22-0.830) + math.Abs(y61-0.975)
+				if e < cb {
+					cb = e
+					fA, fS, fC = alpha, s, c
+				}
+			}
+		}
+	}
+	q1, t1 := qtab(1, fA, 6)
+	q2, t2 := qtab(2, fA, 10)
+	p2 := normalize(weightsFor(ms2, fS, fC))
+	p6 := normalize(weightsFor(ms6, fS, fC))
+	y21, _ := r21.YieldRaw(p2, q1, t1)
+	y22, _ := r22.YieldRaw(p2, q2, t2)
+	y61, _ := r61.YieldRaw(p6, q1, t1)
+	fmt.Printf("fine best α=%.2f s=%.3f c=%.3f err=%.5f\n", fA, fS, fC, cb)
+	fmt.Printf("MS2 %.4f/%.4f (0.944/0.830)  MS6 %.4f (0.975)\n", y21, y22, y61)
+}
+
+func normalize(ps []float64) []float64 {
+	sum := 0.0
+	for _, p := range ps {
+		sum += p
+	}
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = p / sum
+	}
+	return out
+}

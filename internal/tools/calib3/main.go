@@ -1,0 +1,133 @@
+// Command calib3 calibrates the OCR-lost ESEN weight ratios
+// (b = P_IPB/P_IPA, se = P_SE/P_IPA, cc = P_C/P_IPA) against the
+// paper's Table 4 yields, for a given clustering α (flag).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"socyield/internal/benchmarks"
+	"socyield/internal/defects"
+	"socyield/internal/yield"
+)
+
+func weightsFor(sys *yield.System, b, se, cc float64) []float64 {
+	ps := make([]float64, len(sys.Components))
+	total := 0.0
+	for i, comp := range sys.Components {
+		var w float64
+		switch {
+		case comp.Name[:3] == "IPA":
+			w = 1
+		case comp.Name[:3] == "IPB":
+			w = b
+		case comp.Name[:2] == "SE":
+			w = se
+		default: // CIN/COUT
+			w = cc
+		}
+		ps[i] = w
+		total += w
+	}
+	for i := range ps {
+		ps[i] /= total
+	}
+	return ps
+}
+
+func qtab(lambda, alpha float64, m int) ([]float64, float64) {
+	d := defects.NegativeBinomial{Lambda: lambda, Alpha: alpha}
+	q := make([]float64, m+1)
+	s := 0.0
+	for k := 0; k <= m; k++ {
+		q[k] = d.PMF(k)
+		s += q[k]
+	}
+	return q, 1 - s
+}
+
+func main() {
+	alpha := flag.Float64("alpha", 2, "NB clustering parameter")
+	flag.Parse()
+	d1, _ := defects.NewNegativeBinomial(2, 2)
+	d2, _ := defects.NewNegativeBinomial(4, 2)
+	e41, _ := benchmarks.ESEN(4, 1)
+	e42, _ := benchmarks.ESEN(4, 2)
+	e44, _ := benchmarks.ESEN(4, 4)
+	r411, _ := yield.NewReevaluator(e41, yield.Options{Defects: d1, Epsilon: 5e-3})
+	r412, _ := yield.NewReevaluator(e41, yield.Options{Defects: d2, Epsilon: 5e-3})
+	r421, _ := yield.NewReevaluator(e42, yield.Options{Defects: d1, Epsilon: 5e-3})
+	r422, _ := yield.NewReevaluator(e42, yield.Options{Defects: d2, Epsilon: 5e-3})
+	r441, _ := yield.NewReevaluator(e44, yield.Options{Defects: d1, Epsilon: 5e-3})
+	r442, err := yield.NewReevaluator(e44, yield.Options{Defects: d2, Epsilon: 5e-3})
+	if err != nil {
+		panic(err)
+	}
+	q1, t1 := qtab(1, *alpha, 6)
+	q2, t2 := qtab(2, *alpha, 10)
+	targets := []float64{0.910, 0.756, 0.848, 0.642, 0.829, 0.605}
+	best := math.Inf(1)
+	var bb, bse, bcc float64
+	for b := 0.1; b <= 1.5005; b += 0.05 {
+		for se := 0.02; se <= 0.8005; se += 0.02 {
+			for cc := 0.01; cc <= 0.6005; cc += 0.02 {
+				p41 := weightsFor(e41, b, se, cc)
+				p42 := weightsFor(e42, b, se, cc)
+				y1, _ := r411.YieldRaw(p41, q1, t1)
+				e := math.Abs(y1 - targets[0])
+				if e > best {
+					continue
+				}
+				y2, _ := r412.YieldRaw(p41, q2, t2)
+				y3, _ := r421.YieldRaw(p42, q1, t1)
+				y4, _ := r422.YieldRaw(p42, q2, t2)
+				p44 := weightsFor(e44, b, se, cc)
+				y5, _ := r441.YieldRaw(p44, q1, t1)
+				y6, _ := r442.YieldRaw(p44, q2, t2)
+				e += math.Abs(y2-targets[1]) + math.Abs(y3-targets[2]) + math.Abs(y4-targets[3]) + math.Abs(y5-targets[4]) + math.Abs(y6-targets[5])
+				if e < best {
+					best = e
+					bb, bse, bcc = b, se, cc
+				}
+			}
+		}
+	}
+	fmt.Printf("coarse best b=%.3f se=%.3f cc=%.3f err=%.5f\n", bb, bse, bcc, best)
+	// refine
+	for b := bb - 0.06; b <= bb+0.0605; b += 0.01 {
+		for se := bse - 0.025; se <= bse+0.02505; se += 0.005 {
+			for cc := bcc - 0.025; cc <= bcc+0.02505; cc += 0.005 {
+				if b <= 0 || se <= 0 || cc <= 0 {
+					continue
+				}
+				p41 := weightsFor(e41, b, se, cc)
+				p42 := weightsFor(e42, b, se, cc)
+				p44 := weightsFor(e44, b, se, cc)
+				y1, _ := r411.YieldRaw(p41, q1, t1)
+				y2, _ := r412.YieldRaw(p41, q2, t2)
+				y3, _ := r421.YieldRaw(p42, q1, t1)
+				y4, _ := r422.YieldRaw(p42, q2, t2)
+				y5, _ := r441.YieldRaw(p44, q1, t1)
+				y6, _ := r442.YieldRaw(p44, q2, t2)
+				e := math.Abs(y1-targets[0]) + math.Abs(y2-targets[1]) + math.Abs(y3-targets[2]) + math.Abs(y4-targets[3]) + math.Abs(y5-targets[4]) + math.Abs(y6-targets[5])
+				if e < best {
+					best = e
+					bb, bse, bcc = b, se, cc
+				}
+			}
+		}
+	}
+	p41 := weightsFor(e41, bb, bse, bcc)
+	p42 := weightsFor(e42, bb, bse, bcc)
+	p44 := weightsFor(e44, bb, bse, bcc)
+	y1, _ := r411.YieldRaw(p41, q1, t1)
+	y2, _ := r412.YieldRaw(p41, q2, t2)
+	y3, _ := r421.YieldRaw(p42, q1, t1)
+	y4, _ := r422.YieldRaw(p42, q2, t2)
+	y5, _ := r441.YieldRaw(p44, q1, t1)
+	y6, _ := r442.YieldRaw(p44, q2, t2)
+	fmt.Printf("fine best b=%.3f se=%.3f cc=%.3f err=%.5f\n", bb, bse, bcc, best)
+	fmt.Printf("ESEN4x1: %.4f/%.4f (0.910/0.756)  ESEN4x2: %.4f/%.4f (0.848/0.642)  ESEN4x4: %.4f/%.4f (0.829/0.605)\n", y1, y2, y3, y4, y5, y6)
+}

@@ -1,0 +1,200 @@
+package yield
+
+import (
+	"fmt"
+
+	"socyield/internal/bdd"
+	"socyield/internal/compile"
+	"socyield/internal/convert"
+	"socyield/internal/defects"
+	"socyield/internal/encode"
+	"socyield/internal/mdd"
+	"socyield/internal/order"
+)
+
+// Reevaluator holds the ROMDD of a system built once for a fixed
+// truncation point M, and reevaluates the yield for different defect
+// models without rebuilding any decision diagram. The probability
+// traversal is linear in the ROMDD size, so what-if sweeps over
+// per-component lethalities P_i (e.g. from successive layout
+// iterations) or over defect distributions cost microseconds instead
+// of the full pipeline.
+//
+// The truncation point is fixed at construction: reevaluations supply
+// their own Q'-table truncated at the same M.
+type Reevaluator struct {
+	sys      *System
+	m        int
+	mm       *mdd.Manager
+	root     mdd.Node
+	groupSeq []int
+	// Stats of the one-time build.
+	Result *Result
+}
+
+// NewReevaluator runs the construction phases of Evaluate (using
+// opts.Defects only to fix M) and retains the ROMDD.
+func NewReevaluator(sys *System, opts Options) (*Reevaluator, error) {
+	p, err := prepare(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	g, err := encode.BuildG(sys.FaultTree, p.m)
+	if err != nil {
+		return nil, err
+	}
+	res := p.baseResult(g)
+	plan, err := order.Assemble(g.Netlist, g.Groups, p.opts.MVOrder, p.opts.BitOrder)
+	if err != nil {
+		return nil, err
+	}
+	bm := bdd.New(g.Netlist.NumInputs(), bdd.WithNodeLimit(p.opts.NodeLimit))
+	root, err := compile.Netlist(bm, g.Netlist, plan.BinaryLevels)
+	if err != nil {
+		res.ROBDDPeak = bm.PeakLive()
+		return nil, fmt.Errorf("yield: compiling coded ROBDD: %w", err)
+	}
+	res.CodedROBDDSize = bm.Size(root)
+	res.ROBDDPeak = bm.PeakLive()
+	groupOf, bitOf := groupMeta(g)
+	spec, err := convert.SpecFromPlanLevels(plan.BinaryLevels, groupOf, bitOf, plan.GroupSeq, g.Domains())
+	if err != nil {
+		return nil, err
+	}
+	mm, err := mdd.New(spec.Domains, mdd.WithNodeLimit(p.opts.NodeLimit))
+	if err != nil {
+		return nil, err
+	}
+	mroot, err := convert.ToMDD(bm, root, mm, spec)
+	if err != nil {
+		return nil, fmt.Errorf("yield: converting to ROMDD: %w", err)
+	}
+	res.ROMDDSize = mm.Size(mroot)
+	// Fill the default model's yield for convenience.
+	pg1, err := mm.Prob(mroot, p.probTable(plan.GroupSeq))
+	if err != nil {
+		return nil, err
+	}
+	res.Yield = 1 - pg1
+	return &Reevaluator{
+		sys:      sys,
+		m:        p.m,
+		mm:       mm,
+		root:     mroot,
+		groupSeq: plan.GroupSeq,
+		Result:   res,
+	}, nil
+}
+
+// M returns the truncation point the ROMDD was built for.
+func (r *Reevaluator) M() int { return r.m }
+
+// YieldRaw reevaluates with explicit lethal-model inputs: pprime is
+// P'_1..P'_C (must sum to ≈1), qprime is Q'_0..Q'_M and tail the
+// remaining mass (qprime must have exactly M+1 entries).
+func (r *Reevaluator) YieldRaw(pprime, qprime []float64, tail float64) (float64, error) {
+	if len(pprime) != len(r.sys.Components) {
+		return 0, fmt.Errorf("yield: pprime has %d entries, want %d", len(pprime), len(r.sys.Components))
+	}
+	if len(qprime) != r.m+1 {
+		return 0, fmt.Errorf("yield: qprime has %d entries, want %d", len(qprime), r.m+1)
+	}
+	wRow := make([]float64, r.m+2)
+	copy(wRow, qprime)
+	wRow[r.m+1] = tail
+	probs := make([][]float64, len(r.groupSeq))
+	for mvLevel, gi := range r.groupSeq {
+		if gi == 0 {
+			probs[mvLevel] = wRow
+		} else {
+			probs[mvLevel] = pprime
+		}
+	}
+	pg1, err := r.mm.Prob(r.root, probs)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - pg1, nil
+}
+
+// Sensitivities returns ∂Y/∂P_i for every component by central finite
+// differences on the ROMDD (two traversals per component, no diagram
+// rebuilding). The derivative is taken with respect to the component's
+// absolute lethality P_i, everything else fixed — the quantity a
+// designer trades layout area against. delta is the relative step
+// (default 1e-4 of P_L when 0).
+func (r *Reevaluator) Sensitivities(ps []float64, dist defects.Distribution, delta float64) ([]float64, error) {
+	if len(ps) != len(r.sys.Components) {
+		return nil, fmt.Errorf("yield: ps has %d entries, want %d", len(ps), len(r.sys.Components))
+	}
+	pl := 0.0
+	for _, p := range ps {
+		pl += p
+	}
+	if delta == 0 {
+		delta = 1e-4 * pl
+	}
+	if !(delta > 0) {
+		return nil, fmt.Errorf("yield: non-positive step %v", delta)
+	}
+	out := make([]float64, len(ps))
+	work := make([]float64, len(ps))
+	for i := range ps {
+		copy(work, ps)
+		lo := ps[i] - delta
+		hi := ps[i] + delta
+		if lo < 0 {
+			lo = 0
+		}
+		work[i] = hi
+		yHi, _, err := r.Yield(work, dist)
+		if err != nil {
+			return nil, err
+		}
+		work[i] = lo
+		yLo, _, err := r.Yield(work, dist)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = (yHi - yLo) / (hi - lo)
+	}
+	return out, nil
+}
+
+// Yield reevaluates for new per-component lethalities ps (the paper's
+// P_i, summing to the new P_L) and a new defect distribution,
+// performing the lethal transform internally. The truncation point
+// stays at the construction-time M; the returned error bound is the
+// new tail mass beyond it.
+func (r *Reevaluator) Yield(ps []float64, dist defects.Distribution) (yield, errorBound float64, err error) {
+	if len(ps) != len(r.sys.Components) {
+		return 0, 0, fmt.Errorf("yield: ps has %d entries, want %d", len(ps), len(r.sys.Components))
+	}
+	pl := 0.0
+	for i, p := range ps {
+		if !(p >= 0) {
+			return 0, 0, fmt.Errorf("yield: component %d has P = %v", i, p)
+		}
+		pl += p
+	}
+	if !(pl > 0 && pl <= 1+1e-12) {
+		return 0, 0, fmt.Errorf("yield: P_L = %v outside (0,1]", pl)
+	}
+	lethal, err := defects.Thin(dist, pl)
+	if err != nil {
+		return 0, 0, err
+	}
+	qprime, tail, err := defects.PMFTable(lethal, r.m)
+	if err != nil {
+		return 0, 0, err
+	}
+	pprime := make([]float64, len(ps))
+	for i, p := range ps {
+		pprime[i] = p / pl
+	}
+	y, err := r.YieldRaw(pprime, qprime, tail)
+	if err != nil {
+		return 0, 0, err
+	}
+	return y, tail, nil
+}

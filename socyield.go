@@ -1,0 +1,193 @@
+// Package socyield evaluates the manufacturing yield (and operational
+// reliability) of fault-tolerant systems-on-chip with the combinatorial
+// method of Munteanu, Suñé, Rodríguez-Montañés and Carrasco (DSN 2003):
+// the yield is expressed as 1 − P(G = 1) for a boolean function G of
+// independent multiple-valued random variables, and that probability is
+// computed on a ROMDD obtained from a coded ROBDD of G.
+//
+// # Quick start
+//
+//	f := socyield.NewFaultTree()
+//	a, b, c := f.Input("m1"), f.Input("m2"), f.Input("m3")
+//	f.SetOutput(f.Or(f.And(a, b), f.And(a, c), f.And(b, c))) // TMR: down if ≥ 2 fail
+//
+//	sys := &socyield.System{
+//		Name: "tmr",
+//		Components: []socyield.Component{
+//			{Name: "m1", P: 0.2}, {Name: "m2", P: 0.15}, {Name: "m3", P: 0.15},
+//		},
+//		FaultTree: f,
+//	}
+//	dist, _ := socyield.NewNegativeBinomial(2, 0.25) // λ defects, clustering α
+//	res, err := socyield.Evaluate(sys, socyield.Options{Defects: dist, Epsilon: 1e-4})
+//	// res.Yield ≤ true yield ≤ res.Yield + res.ErrorBound
+//
+// Fault trees are gate-level netlists (AND/OR/NOT/XOR/threshold) whose
+// inputs are the components' failed-state variables; the function value
+// 1 means the system is NOT functioning. Defect distributions include
+// the negative binomial (the standard clustered yield model), Poisson,
+// geometric, and deterministic counts; arbitrary distributions are
+// supported through the Distribution interface and are thinned to the
+// lethal-defect model numerically.
+//
+// The benchmark generators of the paper (MSn master–slave SoCs and
+// ESENnxm interconnection-network SoCs), the ordering heuristics, the
+// Monte-Carlo baseline and the reliability extension are exposed
+// through the sub-APIs re-exported here.
+package socyield
+
+import (
+	"socyield/internal/benchmarks"
+	"socyield/internal/defects"
+	"socyield/internal/logic"
+	"socyield/internal/montecarlo"
+	"socyield/internal/order"
+	"socyield/internal/reliability"
+	"socyield/internal/yield"
+)
+
+// FaultTree is a combinational gate-level netlist describing the
+// structure function of a system: output 1 ⇔ system not functioning.
+type FaultTree = logic.Netlist
+
+// NewFaultTree returns an empty fault tree ready for construction.
+func NewFaultTree() *FaultTree { return logic.New() }
+
+// System describes a fault-tolerant system-on-chip.
+type System = yield.System
+
+// Component is one component with its defect-lethality probability.
+type Component = yield.Component
+
+// Options configure Evaluate.
+type Options = yield.Options
+
+// Result reports a yield estimate and the method's structural
+// statistics.
+type Result = yield.Result
+
+// ErrNodeLimit is returned when the decision diagrams exceed the
+// configured node budget.
+var ErrNodeLimit = yield.ErrNodeLimit
+
+// Evaluate runs the combinatorial yield method end to end.
+func Evaluate(sys *System, opts Options) (*Result, error) { return yield.Evaluate(sys, opts) }
+
+// BruteForce computes the same estimate exactly by inclusion–exclusion
+// (exponential in the component count; C ≤ 20).
+func BruteForce(sys *System, opts Options) (*Result, error) { return yield.BruteForce(sys, opts) }
+
+// Reevaluator reevaluates the yield of one system for many defect
+// models without rebuilding decision diagrams.
+type Reevaluator = yield.Reevaluator
+
+// NewReevaluator builds the system's ROMDD once for later sweeps.
+func NewReevaluator(sys *System, opts Options) (*Reevaluator, error) {
+	return yield.NewReevaluator(sys, opts)
+}
+
+// Distribution is a distribution of the number of manufacturing
+// defects.
+type Distribution = defects.Distribution
+
+// NegativeBinomial is the standard clustered defect model.
+type NegativeBinomial = defects.NegativeBinomial
+
+// NewNegativeBinomial validates and returns a negative binomial
+// distribution with mean lambda and clustering parameter alpha.
+func NewNegativeBinomial(lambda, alpha float64) (NegativeBinomial, error) {
+	return defects.NewNegativeBinomial(lambda, alpha)
+}
+
+// Poisson is the unclustered defect model.
+type Poisson = defects.Poisson
+
+// Geometric is the negative binomial with clustering parameter 1.
+type Geometric = defects.Geometric
+
+// Deterministic places all probability on an exact defect count.
+type Deterministic = defects.Deterministic
+
+// CompoundPoisson is the general clustered defect family (Poisson
+// cluster arrivals, arbitrary cluster sizes).
+type CompoundPoisson = defects.CompoundPoisson
+
+// NewCompoundPoisson validates and returns a compound Poisson defect
+// model.
+func NewCompoundPoisson(rate float64, clusterSize Distribution) (CompoundPoisson, error) {
+	return defects.NewCompoundPoisson(rate, clusterSize)
+}
+
+// Logarithmic is the cluster-size law under which a compound Poisson
+// is exactly negative binomial.
+type Logarithmic = defects.Logarithmic
+
+// MVOrdering selects the ordering of the multiple-valued variables
+// (paper names: wv, wvr, vw, vrw, t, w, h).
+type MVOrdering = order.MVKind
+
+// BitOrdering selects the ordering of the bits encoding each
+// multiple-valued variable (paper names: ml, lm, t, w, h).
+type BitOrdering = order.BitKind
+
+// The multiple-valued variable orderings of the paper.
+const (
+	MVOrderWV       = order.MVWV
+	MVOrderWVR      = order.MVWVR
+	MVOrderVW       = order.MVVW
+	MVOrderVRW      = order.MVVRW
+	MVOrderTopology = order.MVTopology
+	MVOrderWeight   = order.MVWeight
+	MVOrderH4       = order.MVH4
+)
+
+// The bit-group orderings of the paper.
+const (
+	BitOrderML       = order.BitML
+	BitOrderLM       = order.BitLM
+	BitOrderTopology = order.BitTopology
+	BitOrderWeight   = order.BitWeight
+	BitOrderH4       = order.BitH4
+)
+
+// MS builds the paper's master–slave benchmark SoC with n slave
+// clusters.
+func MS(n int) (*System, error) { return benchmarks.MS(n) }
+
+// ESEN builds the paper's interconnection-network benchmark SoC with
+// n network ports and multiplexing factor m.
+func ESEN(n, m int) (*System, error) { return benchmarks.ESEN(n, m) }
+
+// MonteCarloOptions configure the simulation baseline.
+type MonteCarloOptions = montecarlo.Options
+
+// MonteCarloResult is a simulation estimate with confidence interval.
+type MonteCarloResult = montecarlo.Result
+
+// MonteCarlo estimates the yield by simulation — the error-bar-free
+// alternative the combinatorial method improves on.
+func MonteCarlo(sys *System, opts MonteCarloOptions) (MonteCarloResult, error) {
+	return montecarlo.Estimate(sys, opts)
+}
+
+// Lifetime models a component's field-failure process for the
+// reliability extension.
+type Lifetime = reliability.Lifetime
+
+// Exponential is a constant-failure-rate lifetime.
+type Exponential = reliability.Exponential
+
+// Weibull is a shape-parameterized lifetime.
+type Weibull = reliability.Weibull
+
+// ReliabilityOptions configure ReliabilityCurve.
+type ReliabilityOptions = reliability.Options
+
+// ReliabilityResult is a reliability-over-time curve.
+type ReliabilityResult = reliability.Result
+
+// ReliabilityCurve evaluates operational reliability (manufacturing
+// defects plus field failures) at the given time points.
+func ReliabilityCurve(sys *System, opts ReliabilityOptions, times []float64) (*ReliabilityResult, error) {
+	return reliability.Curve(sys, opts, times)
+}

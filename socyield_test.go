@@ -1,0 +1,215 @@
+package socyield_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"socyield"
+)
+
+func tmr(t *testing.T) *socyield.System {
+	t.Helper()
+	f := socyield.NewFaultTree()
+	m1, m2, m3 := f.Input("m1"), f.Input("m2"), f.Input("m3")
+	f.SetOutput(f.AtLeast(2, m1, m2, m3))
+	return &socyield.System{
+		Name: "tmr",
+		Components: []socyield.Component{
+			{Name: "m1", P: 0.20}, {Name: "m2", P: 0.15}, {Name: "m3", P: 0.15},
+		},
+		FaultTree: f,
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sys := tmr(t)
+	dist, err := socyield.NewNegativeBinomial(2, 0.25)
+	if err != nil {
+		t.Fatalf("NewNegativeBinomial: %v", err)
+	}
+	res, err := socyield.Evaluate(sys, socyield.Options{Defects: dist, Epsilon: 1e-4})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if res.Yield <= 0 || res.Yield >= 1 {
+		t.Fatalf("yield = %v", res.Yield)
+	}
+	if res.ErrorBound > 1e-4 {
+		t.Errorf("ErrorBound %v exceeds epsilon", res.ErrorBound)
+	}
+	// Against the exact reference.
+	ref, err := socyield.BruteForce(sys, socyield.Options{Defects: dist, Epsilon: 1e-4})
+	if err != nil {
+		t.Fatalf("BruteForce: %v", err)
+	}
+	if math.Abs(res.Yield-ref.Yield) > 1e-10 {
+		t.Errorf("method %v vs brute force %v", res.Yield, ref.Yield)
+	}
+	// Against simulation.
+	mc, err := socyield.MonteCarlo(sys, socyield.MonteCarloOptions{
+		Defects: dist, Samples: 100000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("MonteCarlo: %v", err)
+	}
+	if diff := math.Abs(mc.Yield - res.Yield); diff > 5*mc.StdErr+1e-4 {
+		t.Errorf("MC %v vs method %v (5σ = %v)", mc.Yield, res.Yield, 5*mc.StdErr)
+	}
+}
+
+func TestPublicBenchmarkGenerators(t *testing.T) {
+	ms, err := socyield.MS(2)
+	if err != nil {
+		t.Fatalf("MS: %v", err)
+	}
+	if len(ms.Components) != 18 {
+		t.Errorf("MS2 C = %d, want 18", len(ms.Components))
+	}
+	esen, err := socyield.ESEN(4, 2)
+	if err != nil {
+		t.Fatalf("ESEN: %v", err)
+	}
+	if len(esen.Components) != 26 {
+		t.Errorf("ESEN4x2 C = %d, want 26", len(esen.Components))
+	}
+	if _, err := socyield.ESEN(3, 1); err == nil {
+		t.Error("ESEN(3,1) accepted")
+	}
+}
+
+func TestPublicOrderingOptions(t *testing.T) {
+	sys := tmr(t)
+	dist := socyield.Poisson{Lambda: 1}
+	base, err := socyield.Evaluate(sys, socyield.Options{
+		Defects: dist, Epsilon: 1e-4,
+		MVOrder: socyield.MVOrderWV, BitOrder: socyield.BitOrderLM,
+	})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	alt, err := socyield.Evaluate(sys, socyield.Options{
+		Defects: dist, Epsilon: 1e-4,
+		MVOrder: socyield.MVOrderVRW, BitOrder: socyield.BitOrderML,
+	})
+	if err != nil {
+		t.Fatalf("Evaluate vrw: %v", err)
+	}
+	if math.Abs(base.Yield-alt.Yield) > 1e-12 {
+		t.Errorf("ordering changed the yield: %v vs %v", base.Yield, alt.Yield)
+	}
+	if _, err := socyield.Evaluate(sys, socyield.Options{
+		Defects: dist, MVOrder: socyield.MVOrderWV, BitOrder: socyield.BitOrderWeight,
+	}); err == nil {
+		t.Error("incompatible ordering combination accepted")
+	}
+}
+
+func TestPublicNodeLimit(t *testing.T) {
+	sys, err := socyield.MS(2)
+	if err != nil {
+		t.Fatalf("MS: %v", err)
+	}
+	dist, _ := socyield.NewNegativeBinomial(2, 2)
+	_, err = socyield.Evaluate(sys, socyield.Options{
+		Defects: dist, Epsilon: 5e-3, NodeLimit: 100,
+	})
+	if !errors.Is(err, socyield.ErrNodeLimit) {
+		t.Errorf("err = %v, want ErrNodeLimit", err)
+	}
+}
+
+func TestPublicReevaluator(t *testing.T) {
+	sys := tmr(t)
+	dist, _ := socyield.NewNegativeBinomial(2, 1)
+	re, err := socyield.NewReevaluator(sys, socyield.Options{Defects: dist, Epsilon: 1e-4})
+	if err != nil {
+		t.Fatalf("NewReevaluator: %v", err)
+	}
+	y, bound, err := re.Yield([]float64{0.1, 0.1, 0.1}, dist)
+	if err != nil {
+		t.Fatalf("Yield: %v", err)
+	}
+	if y <= 0 || y >= 1 || bound < 0 {
+		t.Errorf("y=%v bound=%v", y, bound)
+	}
+	// Smaller P_i must not lower the yield.
+	y2, _, err := re.Yield([]float64{0.01, 0.01, 0.01}, dist)
+	if err != nil {
+		t.Fatalf("Yield: %v", err)
+	}
+	if y2 < y {
+		t.Errorf("smaller lethalities lowered yield: %v -> %v", y, y2)
+	}
+}
+
+func TestPublicReliability(t *testing.T) {
+	sys := tmr(t)
+	dist, _ := socyield.NewNegativeBinomial(2, 1)
+	lts := []socyield.Lifetime{
+		socyield.Exponential{Rate: 0.01},
+		socyield.Exponential{Rate: 0.01},
+		socyield.Weibull{Scale: 100, Shape: 1.5},
+	}
+	curve, err := socyield.ReliabilityCurve(sys, socyield.ReliabilityOptions{
+		Defects: dist, Epsilon: 1e-4, Lifetimes: lts,
+	}, []float64{0, 10, 100})
+	if err != nil {
+		t.Fatalf("ReliabilityCurve: %v", err)
+	}
+	if len(curve.Points) != 3 {
+		t.Fatalf("points = %d", len(curve.Points))
+	}
+	y, err := socyield.Evaluate(sys, socyield.Options{Defects: dist, Epsilon: 1e-4})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if math.Abs(curve.Points[0].Reliability-y.Yield) > 1e-12 {
+		t.Errorf("R(0) = %v, yield = %v", curve.Points[0].Reliability, y.Yield)
+	}
+	if curve.Points[2].Reliability >= curve.Points[0].Reliability {
+		t.Error("reliability did not decrease")
+	}
+}
+
+// TestPaperFigure2 is the golden test for the paper's worked example:
+// F = x1·x2 + x3, M = 2, ordering v1, v2, w. The canonical ROMDD has
+// six internal nodes (one v1, two v2, three w — the thresholds w≥1,
+// w≥2, w≥3); the figure in the archival copy draws seven, one of which
+// is redundant under the reduction rule.
+func TestPaperFigure2(t *testing.T) {
+	f := socyield.NewFaultTree()
+	x1, x2, x3 := f.Input("x1"), f.Input("x2"), f.Input("x3")
+	f.SetOutput(f.Or(f.And(x1, x2), x3))
+	sys := &socyield.System{
+		Name: "fig2",
+		Components: []socyield.Component{
+			{Name: "x1", P: 0.15}, {Name: "x2", P: 0.15}, {Name: "x3", P: 0.2},
+		},
+		FaultTree: f,
+	}
+	dist, _ := socyield.NewNegativeBinomial(1, 1)
+	res, err := socyield.Evaluate(sys, socyield.Options{
+		Defects: dist, MVOrder: socyield.MVOrderVW, BitOrder: socyield.BitOrderML,
+		Epsilon: 0.05, // forces M = 2 for the illustration
+	})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if res.M != 2 {
+		t.Fatalf("M = %d, want 2 (the figure's truncation)", res.M)
+	}
+	// 6 internal nodes + 2 terminals.
+	if res.ROMDDSize != 8 {
+		t.Errorf("ROMDD size = %d, want 8", res.ROMDDSize)
+	}
+	ref, err := socyield.BruteForce(sys, socyield.Options{
+		Defects: dist, Epsilon: 0.05,
+	})
+	if err != nil {
+		t.Fatalf("BruteForce: %v", err)
+	}
+	if math.Abs(res.Yield-ref.Yield) > 1e-12 {
+		t.Errorf("yield %v vs exact %v", res.Yield, ref.Yield)
+	}
+}
