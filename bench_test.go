@@ -7,8 +7,11 @@ package socyield_test
 // EXPERIMENTS.md records a full run.
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 
+	"socyield"
 	"socyield/internal/experiments"
 )
 
@@ -106,6 +109,76 @@ func BenchmarkAblationDirectMDD(b *testing.B) {
 			}
 		}
 	}
+}
+
+// sweepSetup builds the ESEN8x2 Reevaluator (a ~300k-node ROMDD, a few
+// seconds of construction) once for both sweep sub-benchmarks.
+var sweepSetup struct {
+	once sync.Once
+	re   *socyield.Reevaluator
+	grid []socyield.SweepPoint
+	err  error
+}
+
+// BenchmarkSweepSerialVsParallel times a 64-point (λ, α) batch sweep on
+// one shared ESEN8x2 ROMDD with one worker and with all cores, and
+// checks the parallel results are bit-identical to the serial ones.
+func BenchmarkSweepSerialVsParallel(b *testing.B) {
+	s := &sweepSetup
+	s.once.Do(func() {
+		var sys *socyield.System
+		if sys, s.err = socyield.ESEN(8, 2); s.err != nil {
+			return
+		}
+		var dist socyield.Distribution
+		if dist, s.err = socyield.NewNegativeBinomial(2, 3.4); s.err != nil {
+			return
+		}
+		if s.re, s.err = socyield.NewReevaluator(sys, socyield.Options{Defects: dist, Epsilon: 2e-3}); s.err != nil {
+			return
+		}
+		ps := make([]float64, len(sys.Components))
+		for i, c := range sys.Components {
+			ps[i] = c.P
+		}
+		var dists []socyield.Distribution
+		for i := 0; i < 16; i++ {
+			for _, alpha := range []float64{0.25, 1, 2, 3.4} {
+				d, err := socyield.NewNegativeBinomial(0.5+0.25*float64(i), alpha)
+				if err != nil {
+					s.err = err
+					return
+				}
+				dists = append(dists, d)
+			}
+		}
+		s.grid = socyield.LambdaGrid(ps, dists)
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	serial := s.re.Sweep(s.grid, socyield.SweepOptions{Workers: 1})
+	for _, r := range serial {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		for b.Loop() {
+			s.re.Sweep(s.grid, socyield.SweepOptions{Workers: 1})
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		for b.Loop() {
+			res := s.re.Sweep(s.grid, socyield.SweepOptions{Workers: workers})
+			for i := range res {
+				if res[i] != serial[i] {
+					b.Fatalf("point %d: parallel %v differs from serial %v", i, res[i], serial[i])
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkBaselineMonteCarlo runs the simulation baseline the paper's

@@ -11,20 +11,32 @@
 //	experiments -ablation direct-mdd
 //	experiments -baseline mc -samples 200000
 //	experiments -all                # everything the paper reports
+//	experiments -workers 8 -table 4 -full
+//	experiments -bench-json BENCH_1.json
 //
 // By default only the quick row subset runs; -full selects all fifteen
-// rows of the paper's tables (minutes to an hour on one core).
+// rows of the paper's tables (minutes to an hour on one core —
+// -workers fans independent rows out across cores).
+//
+// -bench-json runs the batch-sweep scaling benchmark (one shared
+// ROMDD, a (λ', α) grid of evaluation points, serial vs parallel) and
+// writes the timing trajectory to the given file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"socyield/internal/benchmarks"
+	"socyield/internal/defects"
 	"socyield/internal/experiments"
+	"socyield/internal/yield"
 )
 
 func main() {
@@ -39,9 +51,13 @@ func main() {
 		nodeLimit = flag.Int("nodelimit", 0, "decision-diagram node budget (0 = default 30M)")
 		epsilon   = flag.Float64("eps", 0, "yield error requirement (0 = default 5e-3)")
 		alpha     = flag.Float64("alpha", 0, "NB clustering parameter (0 = default 2)")
+		workers   = flag.Int("workers", 0, "cases evaluated concurrently (0 = all cores)")
+		benchJSON = flag.String("bench-json", "", "write the sweep scaling benchmark trajectory to this file")
+		benchCase = flag.String("bench-case", "ESEN8x2:1", "benchmark row for -bench-json")
+		benchPts  = flag.Int("bench-points", 64, "sweep grid size for -bench-json")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Alpha: *alpha, Epsilon: *epsilon, NodeLimit: *nodeLimit}
+	cfg := experiments.Config{Alpha: *alpha, Epsilon: *epsilon, NodeLimit: *nodeLimit, Workers: *workers}
 	cases := experiments.QuickCases()
 	if *full || *all {
 		cases = experiments.PaperCases()
@@ -83,10 +99,129 @@ func main() {
 	if *baseline == "mc" || *all {
 		run("Baseline: Monte-Carlo simulation", func() error { return printBaseline(cases, *samples, cfg) })
 	}
+	if *benchJSON != "" {
+		run("Benchmark: batch sweep serial vs parallel", func() error {
+			return runSweepBench(*benchJSON, *benchCase, *benchPts, *workers, cfg)
+		})
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// sweepBench is the JSON record of one -bench-json run: the one-time
+// ROMDD build, then the same sweep grid timed at increasing worker
+// counts (the timing trajectory).
+type sweepBench struct {
+	Benchmark   string  `json:"benchmark"`
+	LambdaPrime int     `json:"lambda_prime"`
+	Points      int     `json:"points"`
+	Cores       int     `json:"cores"`
+	ROMDDNodes  int     `json:"romdd_nodes"`
+	BuildSec    float64 `json:"build_seconds"`
+	Trajectory  []struct {
+		Workers int     `json:"workers"`
+		Seconds float64 `json:"seconds"`
+		Speedup float64 `json:"speedup_vs_serial"`
+	} `json:"trajectory"`
+	Identical bool `json:"parallel_identical_to_serial"`
+}
+
+// runSweepBench builds one shared ROMDD, evaluates a (λ', α) grid of
+// points serially and at doubling worker counts, verifies the results
+// are bit-identical, and writes the trajectory as JSON.
+func runSweepBench(path, caseSpec string, points, maxWorkers int, cfg experiments.Config) error {
+	parsed, err := parseCases(caseSpec)
+	if err != nil || len(parsed) != 1 {
+		return fmt.Errorf("bad -bench-case %q: %v", caseSpec, err)
+	}
+	cs := parsed[0]
+	var sys *yield.System
+	for _, e := range benchmarks.PaperBenchmarks() {
+		if e.Name == cs.Benchmark {
+			if sys, err = e.Build(); err != nil {
+				return err
+			}
+		}
+	}
+	if sys == nil {
+		return fmt.Errorf("unknown benchmark %q", cs.Benchmark)
+	}
+	alpha, eps := cfg.Alpha, cfg.Epsilon
+	if alpha == 0 {
+		alpha = 3.4
+	}
+	if eps == 0 {
+		eps = 2e-3
+	}
+	dist, err := defects.NewNegativeBinomial(2*float64(cs.LambdaPrime), alpha)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	re, err := yield.NewReevaluator(sys, yield.Options{Defects: dist, Epsilon: eps})
+	if err != nil {
+		return err
+	}
+	out := sweepBench{
+		Benchmark:   cs.Benchmark,
+		LambdaPrime: cs.LambdaPrime,
+		Points:      points,
+		Cores:       runtime.NumCPU(),
+		ROMDDNodes:  re.Result.ROMDDSize,
+		BuildSec:    time.Since(t0).Seconds(),
+		Identical:   true,
+	}
+	ps := make([]float64, len(sys.Components))
+	for i, c := range sys.Components {
+		ps[i] = c.P
+	}
+	grid := sweepGrid(ps, points)
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	serial := re.Sweep(grid, yield.SweepOptions{Workers: 1}) // warm-up and reference
+	var serialSec float64
+	for w := 1; w <= maxWorkers; w *= 2 {
+		t0 = time.Now()
+		res := re.Sweep(grid, yield.SweepOptions{Workers: w})
+		sec := time.Since(t0).Seconds()
+		if w == 1 {
+			serialSec = sec
+		}
+		for i := range res {
+			if res[i] != serial[i] {
+				out.Identical = false
+			}
+		}
+		out.Trajectory = append(out.Trajectory, struct {
+			Workers int     `json:"workers"`
+			Seconds float64 `json:"seconds"`
+			Speedup float64 `json:"speedup_vs_serial"`
+		}{Workers: w, Seconds: sec, Speedup: serialSec / sec})
+		fmt.Printf("workers=%-3d %8.3fs  speedup %.2fx  identical %v\n", w, sec, serialSec/sec, out.Identical)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// sweepGrid builds an n-point (λ', α) grid around the case's model.
+func sweepGrid(ps []float64, n int) []yield.SweepPoint {
+	grid := make([]yield.SweepPoint, 0, n)
+	for i := 0; len(grid) < n; i++ {
+		lambda := 0.5 + 0.25*float64(i%16)
+		alpha := []float64{0.25, 1, 2, 3.4}[(i/16)%4]
+		d, err := defects.NewNegativeBinomial(lambda, alpha)
+		if err != nil {
+			continue
+		}
+		grid = append(grid, yield.SweepPoint{PS: ps, Dist: d})
+	}
+	return grid
 }
 
 func parseCases(s string) ([]experiments.Case, error) {

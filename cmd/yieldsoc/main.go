@@ -12,6 +12,10 @@
 //	yieldsoc -f tmr.ft -lambda 1 -alpha 2 -eps 1e-5
 //	yieldsoc -bench ESEN4x2 -lambda 2 -alpha 2 -mv wvr -bits lm
 //	yieldsoc -bench MS2 -lambda 2 -alpha 2 -reliability 0,10,100 -frate 1e-3
+//	yieldsoc -bench MS4 -lambda 2 -alpha 2 -sweep 0.5,1,2,4 -workers 8
+//
+// -sweep evaluates the yield for each listed λ on one shared ROMDD
+// (built once), fanning the points out over -workers goroutines.
 package main
 
 import (
@@ -54,6 +58,8 @@ func run() error {
 		sens      = flag.Bool("sensitivity", false, "print per-component yield sensitivities ∂Y/∂P_i")
 		relTimes  = flag.String("reliability", "", "comma-separated mission times for a reliability curve")
 		fRate     = flag.Float64("frate", 1e-3, "field failure rate per component (with -reliability)")
+		sweep     = flag.String("sweep", "", "comma-separated λ values for a batch sweep on the shared ROMDD")
+		workers   = flag.Int("workers", 0, "parallel workers for -sweep and -mc (0 = all cores)")
 		verbose   = flag.Bool("v", false, "print per-phase statistics")
 	)
 	flag.Parse()
@@ -136,9 +142,45 @@ func run() error {
 			fmt.Printf("  %-14s %+.4f\n", r.name, r.d)
 		}
 	}
+	if *sweep != "" {
+		lambdas, err := parseTimes(*sweep)
+		if err != nil {
+			return err
+		}
+		re, err := yield.NewReevaluator(sys, opts)
+		if err != nil {
+			return err
+		}
+		ps := make([]float64, len(sys.Components))
+		for i, c := range sys.Components {
+			ps[i] = c.P
+		}
+		dists := make([]defects.Distribution, len(lambdas))
+		for i, l := range lambdas {
+			if *poisson {
+				dists[i], err = defects.NewPoisson(l)
+			} else {
+				dists[i], err = defects.NewNegativeBinomial(l, *alpha)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		start := time.Now()
+		results := re.Sweep(yield.LambdaGrid(ps, dists), yield.SweepOptions{Workers: *workers})
+		fmt.Printf("sweep over %d λ values (ROMDD built once, %d nodes, %v for all points):\n",
+			len(lambdas), re.Result.ROMDDSize, time.Since(start).Round(time.Microsecond))
+		for i, sr := range results {
+			if sr.Err != nil {
+				fmt.Printf("  λ=%-8g error: %v\n", lambdas[i], sr.Err)
+				continue
+			}
+			fmt.Printf("  λ=%-8g yield %.6f  (true yield ≤ %.6f)\n", lambdas[i], sr.Yield, sr.Yield+sr.ErrorBound)
+		}
+	}
 	if *mcSamples > 0 {
 		mc, err := montecarlo.Estimate(sys, montecarlo.Options{
-			Defects: dist, Samples: *mcSamples, Seed: 1,
+			Defects: dist, Samples: *mcSamples, Seed: 1, Workers: *workers,
 		})
 		if err != nil {
 			return err

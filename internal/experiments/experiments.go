@@ -12,8 +12,11 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"socyield/internal/benchmarks"
@@ -74,6 +77,16 @@ type Config struct {
 	// headroom for the largest successful rows (our GC cadence lets
 	// roughly 2× the paper's peak accumulate between collections).
 	NodeLimit int
+	// Workers is the number of cases evaluated concurrently by the
+	// table drivers (each case builds its own decision diagrams, so
+	// cases are independent); ≤ 0 means runtime.GOMAXPROCS(0). Row
+	// order and row contents are unaffected by the worker count —
+	// only wall-clock time is. Note that per-row CPU timings (Table 4)
+	// measure contended wall-clock when Workers > 1; pass Workers: 1
+	// when timing fidelity matters more than throughput, and mind the
+	// node budget: it applies per case, so W concurrent cases can hold
+	// W × NodeLimit nodes at peak.
+	Workers int
 }
 
 const (
@@ -97,6 +110,57 @@ func (c Config) limit(def int) int {
 		return c.NodeLimit
 	}
 	return def
+}
+
+// workers resolves the configured case concurrency.
+func (c Config) workers(cases int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > cases {
+		w = cases
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEachCase evaluates fn for every case on a bounded worker pool and
+// returns the results in case order. Cases are independent — each
+// builds its own managers — so this is the embarrassingly parallel
+// outer loop of every table driver. On error the first failing case
+// (in case order, for determinism) is reported.
+func forEachCase[T any](cases []Case, cfg Config, fn func(cs Case) (T, error)) ([]T, error) {
+	out := make([]T, len(cases))
+	if len(cases) == 0 {
+		return out, nil
+	}
+	errs := make([]error, len(cases))
+	workers := cfg.workers(len(cases))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cases) {
+					return
+				}
+				out[i], errs[i] = fn(cases[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // buildSystem instantiates a named benchmark.
@@ -171,18 +235,18 @@ func Table2MVOrderings() []order.MVKind {
 	}
 }
 
-// Table2 regenerates the MV-ordering comparison for the given cases.
+// Table2 regenerates the MV-ordering comparison for the given cases,
+// evaluating Config.Workers cases concurrently.
 func Table2(cases []Case, cfg Config) ([]Table2Row, error) {
 	cfg = cfg.withDefaults()
-	var rows []Table2Row
-	for _, cs := range cases {
+	return forEachCase(cases, cfg, func(cs Case) (Table2Row, error) {
 		sys, err := buildSystem(cs.Benchmark)
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		dist, err := distribution(cs, cfg)
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		row := Table2Row{Case: cs, Sizes: make(map[string]Cell), Paper: paperTable2[cs]}
 		for _, mv := range Table2MVOrderings() {
@@ -197,12 +261,11 @@ func Table2(cases []Case, cfg Config) ([]Table2Row, error) {
 			case isLimit(err):
 				row.Sizes[mv.String()] = Cell{Failed: true}
 			default:
-				return nil, fmt.Errorf("%v/%v: %w", cs, mv, err)
+				return Table2Row{}, fmt.Errorf("%v/%v: %w", cs, mv, err)
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // Table3Row is one row of Table 3: coded-ROBDD sizes per bit-group
@@ -218,18 +281,18 @@ func Table3BitOrderings() []order.BitKind {
 	return []order.BitKind{order.BitML, order.BitLM, order.BitWeight}
 }
 
-// Table3 regenerates the bit-ordering comparison.
+// Table3 regenerates the bit-ordering comparison, evaluating
+// Config.Workers cases concurrently.
 func Table3(cases []Case, cfg Config) ([]Table3Row, error) {
 	cfg = cfg.withDefaults()
-	var rows []Table3Row
-	for _, cs := range cases {
+	return forEachCase(cases, cfg, func(cs Case) (Table3Row, error) {
 		sys, err := buildSystem(cs.Benchmark)
 		if err != nil {
-			return nil, err
+			return Table3Row{}, err
 		}
 		dist, err := distribution(cs, cfg)
 		if err != nil {
-			return nil, err
+			return Table3Row{}, err
 		}
 		row := Table3Row{Case: cs, Sizes: make(map[string]Cell), Paper: paperTable3[cs]}
 		for _, bk := range Table3BitOrderings() {
@@ -244,12 +307,11 @@ func Table3(cases []Case, cfg Config) ([]Table3Row, error) {
 			case isLimit(err):
 				row.Sizes[bk.String()] = Cell{Failed: true}
 			default:
-				return nil, fmt.Errorf("%v/%v: %w", cs, bk, err)
+				return Table3Row{}, fmt.Errorf("%v/%v: %w", cs, bk, err)
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // Table4Row is one row of Table 4: the end-to-end method with the
@@ -277,18 +339,19 @@ type PaperPerf struct {
 	Yield      float64
 }
 
-// Table4 regenerates the end-to-end performance table.
+// Table4 regenerates the end-to-end performance table, evaluating
+// Config.Workers cases concurrently (per-row CPU times then measure
+// contended wall-clock; use Workers: 1 for clean timings).
 func Table4(cases []Case, cfg Config) ([]Table4Row, error) {
 	cfg = cfg.withDefaults()
-	var rows []Table4Row
-	for _, cs := range cases {
+	return forEachCase(cases, cfg, func(cs Case) (Table4Row, error) {
 		sys, err := buildSystem(cs.Benchmark)
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
 		dist, err := distribution(cs, cfg)
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
 		start := time.Now()
 		res, err := yield.Evaluate(sys, yield.Options{
@@ -314,11 +377,10 @@ func Table4(cases []Case, cfg Config) ([]Table4Row, error) {
 				row.Peak = res.ROBDDPeak
 			}
 		default:
-			return nil, fmt.Errorf("%v: %w", cs, err)
+			return Table4Row{}, fmt.Errorf("%v: %w", cs, err)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // AblationRow compares the coded-ROBDD route against direct ROMDD
@@ -333,18 +395,18 @@ type AblationRow struct {
 	DirectFailed bool
 }
 
-// AblationDirectMDD runs both construction routes on the given cases.
+// AblationDirectMDD runs both construction routes on the given cases,
+// evaluating Config.Workers cases concurrently.
 func AblationDirectMDD(cases []Case, cfg Config) ([]AblationRow, error) {
 	cfg = cfg.withDefaults()
-	var rows []AblationRow
-	for _, cs := range cases {
+	return forEachCase(cases, cfg, func(cs Case) (AblationRow, error) {
 		sys, err := buildSystem(cs.Benchmark)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		dist, err := distribution(cs, cfg)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		opts := yield.Options{
 			Defects: dist, Epsilon: cfg.Epsilon,
@@ -354,7 +416,7 @@ func AblationDirectMDD(cases []Case, cfg Config) ([]AblationRow, error) {
 		start := time.Now()
 		viaCoded, err := yield.Evaluate(sys, opts)
 		if err != nil {
-			return nil, fmt.Errorf("%v coded route: %w", cs, err)
+			return AblationRow{}, fmt.Errorf("%v coded route: %w", cs, err)
 		}
 		codedTime := time.Since(start)
 		start = time.Now()
@@ -362,7 +424,7 @@ func AblationDirectMDD(cases []Case, cfg Config) ([]AblationRow, error) {
 		row := AblationRow{Case: cs, CodedTime: codedTime, ROMDD: viaCoded.ROMDDSize}
 		if err != nil {
 			if !isLimit(err) {
-				return nil, fmt.Errorf("%v direct route: %w", cs, err)
+				return AblationRow{}, fmt.Errorf("%v direct route: %w", cs, err)
 			}
 			row.DirectFailed = true
 		} else {
@@ -370,9 +432,8 @@ func AblationDirectMDD(cases []Case, cfg Config) ([]AblationRow, error) {
 			row.SizesAgree = direct.ROMDDSize == viaCoded.ROMDDSize
 			row.YieldsAgree = abs(direct.Yield-viaCoded.Yield) < 1e-9
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // BaselineRow compares the combinatorial method with Monte-Carlo
@@ -389,45 +450,52 @@ type BaselineRow struct {
 }
 
 // BaselineMonteCarlo runs the simulation baseline with the given
-// sample count per case.
+// sample count per case, evaluating Config.Workers cases concurrently
+// (the simulator itself stays single-worker per case then, so the
+// machine is not oversubscribed; with one case it fans the samples
+// out instead).
 func BaselineMonteCarlo(cases []Case, samples int, cfg Config) ([]BaselineRow, error) {
 	cfg = cfg.withDefaults()
-	var rows []BaselineRow
-	for _, cs := range cases {
+	caseWorkers := cfg.workers(len(cases))
+	mcWorkers := 1
+	if caseWorkers == 1 {
+		mcWorkers = cfg.Workers // ≤ 0 lets the simulator pick GOMAXPROCS
+	}
+	return forEachCase(cases, cfg, func(cs Case) (BaselineRow, error) {
 		sys, err := buildSystem(cs.Benchmark)
 		if err != nil {
-			return nil, err
+			return BaselineRow{}, err
 		}
 		dist, err := distribution(cs, cfg)
 		if err != nil {
-			return nil, err
+			return BaselineRow{}, err
 		}
 		start := time.Now()
 		exact, err := yield.Evaluate(sys, yield.Options{
 			Defects: dist, Epsilon: cfg.Epsilon, NodeLimit: cfg.limit(defaultPerfNodeLimit),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%v: %w", cs, err)
+			return BaselineRow{}, fmt.Errorf("%v: %w", cs, err)
 		}
 		exactTime := time.Since(start)
 		start = time.Now()
 		mc, err := montecarlo.Estimate(sys, montecarlo.Options{
 			Defects: dist, Samples: samples, Seed: 20030622, // DSN'03 conference date
+			Workers: mcWorkers,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%v MC: %w", cs, err)
+			return BaselineRow{}, fmt.Errorf("%v MC: %w", cs, err)
 		}
 		diff := abs(mc.Yield - exact.Yield)
-		rows = append(rows, BaselineRow{
+		return BaselineRow{
 			Case: cs, Exact: exact.Yield, ExactTime: exactTime,
 			MC: mc.Yield, MCStdErr: mc.StdErr, MCSamples: samples,
 			MCTime: time.Since(start),
 			// The combinatorial result is pessimistic by ≤ ε, so allow
 			// the truncation slack on top of the sampling noise.
 			WithinThree: diff <= 3*mc.StdErr+cfg.Epsilon,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 func abs(x float64) float64 {

@@ -288,3 +288,100 @@ func TestROMDDSizesPinnedToPaper(t *testing.T) {
 		}
 	}
 }
+
+// TestTablesParallelMatchSerial runs the table drivers with Workers 1
+// and 4 on the fast cases; every row must be identical apart from
+// wall-clock timings, which the comparison masks out.
+func TestTablesParallelMatchSerial(t *testing.T) {
+	cases := []Case{{"MS2", 1}, {"ESEN4x1", 1}}
+	serialCfg := Config{Workers: 1}
+	parallelCfg := Config{Workers: 4}
+
+	t2s, err := Table2(cases, serialCfg)
+	if err != nil {
+		t.Fatalf("Table2 serial: %v", err)
+	}
+	t2p, err := Table2(cases, parallelCfg)
+	if err != nil {
+		t.Fatalf("Table2 parallel: %v", err)
+	}
+	for i := range t2s {
+		if t2s[i].Case != t2p[i].Case {
+			t.Fatalf("Table2 row %d: case order differs (%v vs %v)", i, t2s[i].Case, t2p[i].Case)
+		}
+		for k, v := range t2s[i].Sizes {
+			if t2p[i].Sizes[k] != v {
+				t.Errorf("Table2 %v/%s: serial %v, parallel %v", t2s[i].Case, k, v, t2p[i].Sizes[k])
+			}
+		}
+	}
+
+	t3s, err := Table3(cases, serialCfg)
+	if err != nil {
+		t.Fatalf("Table3 serial: %v", err)
+	}
+	t3p, err := Table3(cases, parallelCfg)
+	if err != nil {
+		t.Fatalf("Table3 parallel: %v", err)
+	}
+	for i := range t3s {
+		for k, v := range t3s[i].Sizes {
+			if t3p[i].Sizes[k] != v {
+				t.Errorf("Table3 %v/%s: serial %v, parallel %v", t3s[i].Case, k, v, t3p[i].Sizes[k])
+			}
+		}
+	}
+
+	t4s, err := Table4(cases, serialCfg)
+	if err != nil {
+		t.Fatalf("Table4 serial: %v", err)
+	}
+	t4p, err := Table4(cases, parallelCfg)
+	if err != nil {
+		t.Fatalf("Table4 parallel: %v", err)
+	}
+	for i := range t4s {
+		s, p := t4s[i], t4p[i]
+		if s.Case != p.Case || s.Yield != p.Yield || s.ROBDD != p.ROBDD || s.ROMDD != p.ROMDD ||
+			s.Peak != p.Peak || s.M != p.M || s.Failed != p.Failed {
+			t.Errorf("Table4 row %d differs beyond timing: serial %+v, parallel %+v", i, s, p)
+		}
+	}
+
+	mcS, err := BaselineMonteCarlo(cases, 5000, serialCfg)
+	if err != nil {
+		t.Fatalf("BaselineMonteCarlo serial: %v", err)
+	}
+	mcP, err := BaselineMonteCarlo(cases, 5000, parallelCfg)
+	if err != nil {
+		t.Fatalf("BaselineMonteCarlo parallel: %v", err)
+	}
+	for i := range mcS {
+		s, p := mcS[i], mcP[i]
+		if s.Case != p.Case || s.Exact != p.Exact || s.MC != p.MC || s.MCStdErr != p.MCStdErr {
+			t.Errorf("Baseline row %d differs beyond timing: serial %+v, parallel %+v", i, s, p)
+		}
+	}
+}
+
+// TestAblationParallel exercises the ablation driver through the
+// worker pool (result fields are timing-dominated, so only the
+// structural agreements are compared).
+func TestAblationParallel(t *testing.T) {
+	cases := []Case{{"MS2", 1}, {"ESEN4x1", 1}}
+	rows, err := AblationDirectMDD(cases, Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("AblationDirectMDD: %v", err)
+	}
+	if len(rows) != len(cases) {
+		t.Fatalf("%d rows for %d cases", len(rows), len(cases))
+	}
+	for i, r := range rows {
+		if r.Case != cases[i] {
+			t.Errorf("row %d: case %v, want %v (order must be stable)", i, r.Case, cases[i])
+		}
+		if !r.DirectFailed && (!r.SizesAgree || !r.YieldsAgree) {
+			t.Errorf("%v: construction routes disagree", r.Case)
+		}
+	}
+}

@@ -312,14 +312,29 @@ var ErrNoOutput = errors.New("logic: netlist has no output")
 // Eval evaluates the netlist output under the given assignment, which
 // maps input declaration ordinals to values (assign[i] is the value of
 // the i-th declared input). Missing trailing inputs default to false.
+//
+// Eval reuses one scratch buffer cached on the netlist, so concurrent
+// Eval calls on the same netlist race; concurrent callers must use
+// EvalWith with per-goroutine buffers instead.
 func (n *Netlist) Eval(assign []bool) (bool, error) {
-	if !n.hasOut {
-		return false, ErrNoOutput
-	}
 	if cap(n.evalBuf) < len(n.gates) {
 		n.evalBuf = make([]bool, len(n.gates))
 	}
-	vals := n.evalBuf[:len(n.gates)]
+	return n.EvalWith(assign, &n.evalBuf)
+}
+
+// EvalWith is Eval using caller-owned scratch space (grown as needed
+// and reusable across calls). The netlist itself is only read, so any
+// number of goroutines may call EvalWith concurrently, each with its
+// own buffer.
+func (n *Netlist) EvalWith(assign []bool, scratch *[]bool) (bool, error) {
+	if !n.hasOut {
+		return false, ErrNoOutput
+	}
+	if cap(*scratch) < len(n.gates) {
+		*scratch = make([]bool, len(n.gates))
+	}
+	vals := (*scratch)[:len(n.gates)]
 	for i, g := range n.gates {
 		switch g.Kind {
 		case InputKind:

@@ -1,0 +1,203 @@
+package mdd
+
+import "fmt"
+
+// Frozen is an immutable compact snapshot of one rooted diagram,
+// produced by Manager.Freeze. It owns its own node arrays — only the
+// nodes reachable from the root, renumbered in topological (children
+// before parents) order — and shares nothing with the manager, so it
+// is safe to evaluate from any number of goroutines with no external
+// synchronization, even while the original manager keeps growing.
+//
+// Beyond safety, the compaction pays for itself: Prob becomes a single
+// forward pass over a dense array (no recursion, no hash lookups, good
+// locality), which is the hot loop of every yield sweep.
+type Frozen struct {
+	domains []int32
+	// levels[i] is the level of compact node i; terminals keep indices
+	// 0 (False) and 1 (True) with level == len(domains).
+	levels []int32
+	// kidsOff[i] points into kids; node i's children are
+	// kids[kidsOff[i] : kidsOff[i]+domains[levels[i]]].
+	kidsOff []int32
+	kids    []int32
+	// root is the compact index of the frozen root. Children precede
+	// parents, so the root is always the last node (or a terminal).
+	root int32
+}
+
+// Freeze extracts the diagram rooted at n into an immutable snapshot.
+// The manager is only read; it may be discarded or mutated afterwards
+// without affecting the snapshot.
+func (m *Manager) Freeze(n Node) *Frozen {
+	f := &Frozen{
+		domains: append([]int32(nil), m.domains...),
+		levels:  []int32{int32(len(m.domains)), int32(len(m.domains))},
+		kidsOff: []int32{0, 0},
+		root:    int32(n),
+	}
+	if m.IsTerminal(n) {
+		return f
+	}
+	// Post-order DFS assigns compact indices so that children precede
+	// parents; remap[] carries old → new indices.
+	remap := make([]int32, len(m.nodes))
+	for i := range remap {
+		remap[i] = nilIdx
+	}
+	remap[False], remap[True] = 0, 1
+	var walk func(Node) int32
+	walk = func(x Node) int32 {
+		if remap[x] != nilIdx {
+			return remap[x]
+		}
+		lv := int(m.nodes[x].level)
+		old := m.Kids(x)
+		mapped := make([]int32, len(old))
+		for i, k := range old {
+			mapped[i] = walk(k)
+		}
+		idx := int32(len(f.levels))
+		f.levels = append(f.levels, int32(lv))
+		f.kidsOff = append(f.kidsOff, int32(len(f.kids)))
+		f.kids = append(f.kids, mapped...)
+		remap[x] = idx
+		return idx
+	}
+	f.root = walk(n)
+	return f
+}
+
+// NumVars returns the number of variable levels.
+func (f *Frozen) NumVars() int { return len(f.domains) }
+
+// Domain returns the domain size of the variable at the given level.
+func (f *Frozen) Domain(level int) int { return int(f.domains[level]) }
+
+// NumNodes returns the node count of the snapshot including both
+// terminals (the conventional diagram size counts only reached
+// terminals — see Size).
+func (f *Frozen) NumNodes() int { return len(f.levels) }
+
+// Size returns the number of nodes in the frozen diagram, counting
+// terminals only when the root actually reaches them — the same
+// convention as Manager.Size, so sizes agree across Freeze.
+func (f *Frozen) Size() int {
+	if f.root == int32(False) || f.root == int32(True) {
+		return 1
+	}
+	reached := [2]bool{}
+	for i := 2; i < len(f.levels); i++ {
+		d := int(f.domains[f.levels[i]])
+		off := int(f.kidsOff[i])
+		for _, k := range f.kids[off : off+d] {
+			if k < 2 {
+				reached[k] = true
+			}
+		}
+	}
+	n := len(f.levels) - 2
+	if reached[0] {
+		n++
+	}
+	if reached[1] {
+		n++
+	}
+	return n
+}
+
+func (f *Frozen) checkProbs(probs [][]float64) error {
+	if len(probs) < len(f.domains) {
+		return fmt.Errorf("mdd: probability table has %d levels, need %d", len(probs), len(f.domains))
+	}
+	for l, p := range probs[:len(f.domains)] {
+		if len(p) != int(f.domains[l]) {
+			return fmt.Errorf("mdd: probability row %d has %d entries, want %d", l, len(p), f.domains[l])
+		}
+	}
+	return nil
+}
+
+// Prob returns P(f = 1) under independent per-level value
+// distributions, exactly as Manager.Prob, but as one forward pass over
+// the topologically ordered node array. All scratch state is local, so
+// any number of goroutines may call Prob concurrently on one snapshot.
+func (f *Frozen) Prob(probs [][]float64) (float64, error) {
+	if err := f.checkProbs(probs); err != nil {
+		return 0, err
+	}
+	return f.probInto(probs, make([]float64, len(f.levels))), nil
+}
+
+// ProbBuffer is reusable scratch space for ProbWith, letting tight
+// sweep loops amortize the one allocation Prob makes per call. Each
+// goroutine must use its own buffer.
+type ProbBuffer struct {
+	vals []float64
+}
+
+// ProbWith is Prob using caller-owned scratch space.
+func (f *Frozen) ProbWith(probs [][]float64, buf *ProbBuffer) (float64, error) {
+	if err := f.checkProbs(probs); err != nil {
+		return 0, err
+	}
+	if cap(buf.vals) < len(f.levels) {
+		buf.vals = make([]float64, len(f.levels))
+	}
+	return f.probInto(probs, buf.vals[:len(f.levels)]), nil
+}
+
+func (f *Frozen) probInto(probs [][]float64, vals []float64) float64 {
+	vals[False], vals[True] = 0, 1
+	for i := 2; i < len(f.levels); i++ {
+		lv := f.levels[i]
+		row := probs[lv]
+		off := int(f.kidsOff[i])
+		total := 0.0
+		for v, k := range f.kids[off : off+len(row)] {
+			if p := row[v]; p != 0 {
+				total += p * vals[k]
+			}
+		}
+		vals[i] = total
+	}
+	return vals[f.root]
+}
+
+// Eval evaluates the frozen function under the assignment
+// (assign[level] is the value of the variable at that level).
+func (f *Frozen) Eval(assign []int) (bool, error) {
+	n := f.root
+	for n >= 2 {
+		lv := int(f.levels[n])
+		if lv >= len(assign) {
+			return false, fmt.Errorf("mdd: assignment too short: need level %d, have %d values", lv, len(assign))
+		}
+		v := assign[lv]
+		if v < 0 || v >= int(f.domains[lv]) {
+			return false, fmt.Errorf("mdd: value %d outside domain of level %d (size %d)", v, lv, f.domains[lv])
+		}
+		n = f.kids[int(f.kidsOff[n])+v]
+	}
+	return n == int32(True), nil
+}
+
+// ComputeStats returns the structural statistics of the frozen
+// diagram, matching Manager.ComputeStats on the original root.
+func (f *Frozen) ComputeStats() Stats {
+	s := Stats{PerLevel: make([]int, len(f.domains))}
+	edges := 0
+	for i := 2; i < len(f.levels); i++ {
+		lv := int(f.levels[i])
+		s.PerLevel[lv]++
+		if s.PerLevel[lv] > s.MaxWidth {
+			s.MaxWidth = s.PerLevel[lv]
+		}
+		edges += int(f.domains[lv])
+	}
+	s.Nodes = f.Size()
+	if internal := len(f.levels) - 2; internal > 0 {
+		s.AvgDegree = float64(edges) / float64(internal)
+	}
+	return s
+}

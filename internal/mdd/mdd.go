@@ -10,6 +10,18 @@
 // paper corresponds to several values sharing a child). Diagrams are
 // reduced (no node has all children equal; no two nodes are identical)
 // and ordered, hence canonical for a fixed level order.
+//
+// # Concurrency
+//
+// Construction (MkNode, And, Or, Xor, Not, Literal*) mutates the
+// manager and must be serialized by the caller. Read-only operations
+// (Prob, Size, Eval, ComputeStats, DOT, Kid, Kids, Level) allocate any
+// scratch state per call, so once construction is finished any number
+// of goroutines may run them concurrently on the same manager. For
+// long-lived evaluation services, Freeze extracts an immutable compact
+// snapshot ([Frozen]) of one rooted diagram that is safe to share
+// unconditionally and evaluates faster than the manager's recursive
+// traversals.
 package mdd
 
 import (
@@ -44,13 +56,11 @@ type mnode struct {
 // Manager owns an ROMDD arena over a fixed sequence of variable
 // domains.
 type Manager struct {
-	domains  []int32
-	nodes    []mnode
-	kids     []Node
-	buckets  []int32
-	limit    int
-	stamp    []int32
-	stampGen int32
+	domains []int32
+	nodes   []mnode
+	kids    []Node
+	buckets []int32
+	limit   int
 }
 
 // Option configures a Manager.
@@ -428,33 +438,24 @@ func (m *Manager) Eval(n Node, assign []int) (bool, error) {
 	return n == True, nil
 }
 
-func (m *Manager) nextStamp() int32 {
-	if len(m.stamp) < len(m.nodes) {
-		m.stamp = make([]int32, len(m.nodes))
-		m.stampGen = 0
-	}
-	m.stampGen++
-	return m.stampGen
-}
-
 // Size returns the number of nodes in the diagram rooted at n,
-// including the terminals it reaches.
+// including the terminals it reaches. The visited set is allocated per
+// call, so concurrent Size calls on a fully built manager are safe.
 func (m *Manager) Size(n Node) int {
-	gen := m.nextStamp()
-	return m.sizeRec(n, gen)
+	return m.sizeRec(n, make([]bool, len(m.nodes)))
 }
 
-func (m *Manager) sizeRec(n Node, gen int32) int {
-	if m.stamp[n] == gen {
+func (m *Manager) sizeRec(n Node, seen []bool) int {
+	if seen[n] {
 		return 0
 	}
-	m.stamp[n] = gen
+	seen[n] = true
 	if m.IsTerminal(n) {
 		return 1
 	}
 	total := 1
 	for _, k := range m.Kids(n) {
-		total += m.sizeRec(k, gen)
+		total += m.sizeRec(k, seen)
 	}
 	return total
 }
@@ -501,17 +502,16 @@ func (m *Manager) probRec(n Node, probs [][]float64, memo []float64, done []bool
 func (m *Manager) DOT(n Node, title string, names []string) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "digraph %q {\n", title)
-	gen := m.nextStamp()
-	m.dotRec(n, gen, names, &sb)
+	m.dotRec(n, make([]bool, len(m.nodes)), names, &sb)
 	sb.WriteString("}\n")
 	return sb.String()
 }
 
-func (m *Manager) dotRec(n Node, gen int32, names []string, sb *strings.Builder) {
-	if m.stamp[n] == gen {
+func (m *Manager) dotRec(n Node, seen []bool, names []string, sb *strings.Builder) {
+	if seen[n] {
 		return
 	}
-	m.stamp[n] = gen
+	seen[n] = true
 	if m.IsTerminal(n) {
 		fmt.Fprintf(sb, "  n%d [shape=box label=\"%d\"];\n", n, n)
 		return
@@ -538,7 +538,7 @@ func (m *Manager) dotRec(n Node, gen int32, names []string, sb *strings.Builder)
 			lbl[i] = fmt.Sprintf("%d", v)
 		}
 		fmt.Fprintf(sb, "  n%d -> n%d [label=%q];\n", n, k, strings.Join(lbl, ","))
-		m.dotRec(k, gen, names, sb)
+		m.dotRec(k, seen, names, sb)
 	}
 }
 
@@ -554,15 +554,15 @@ type Stats struct {
 // at n.
 func (m *Manager) ComputeStats(n Node) Stats {
 	s := Stats{PerLevel: make([]int, len(m.domains))}
-	gen := m.nextStamp()
+	seen := make([]bool, len(m.nodes))
 	edges := 0
 	var walk func(Node)
 	var nodes int
 	walk = func(x Node) {
-		if m.stamp[x] == gen {
+		if seen[x] {
 			return
 		}
-		m.stamp[x] = gen
+		seen[x] = true
 		nodes++
 		if m.IsTerminal(x) {
 			return
@@ -590,14 +590,14 @@ func (m *Manager) ComputeStats(n Node) Stats {
 }
 
 func countTerminalsReached(m *Manager, n Node) int {
-	gen := m.nextStamp()
+	seen := make([]bool, len(m.nodes))
 	count := 0
 	var walk func(Node)
 	walk = func(x Node) {
-		if m.stamp[x] == gen {
+		if seen[x] {
 			return
 		}
-		m.stamp[x] = gen
+		seen[x] = true
 		if m.IsTerminal(x) {
 			count++
 			return

@@ -3,6 +3,13 @@
 // method: not limited by system complexity, but expensive and without
 // strict error control. It serves as the baseline benchmark and as an
 // independent statistical cross-check of the combinatorial results.
+//
+// Simulation parallelizes trivially, so Estimate shards its samples
+// into fixed-size chunks, each with its own PRNG stream seeded
+// deterministically from the base seed and the chunk index, and fans
+// the chunks out over a worker pool. Because the stream assignment
+// depends only on (Seed, chunk index) — never on scheduling — the
+// estimate is bit-identical for every worker count, including 1.
 package montecarlo
 
 import (
@@ -10,7 +17,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"socyield/internal/defects"
 	"socyield/internal/yield"
@@ -22,11 +32,15 @@ type Options struct {
 	Defects defects.Distribution
 	// Samples is the number of simulated dies (required, > 0).
 	Samples int
-	// Seed seeds the deterministic PRNG.
+	// Seed seeds the deterministic PRNG family. The estimate depends
+	// only on Seed and Samples, not on Workers.
 	Seed int64
 	// MaxDefectsPerDie caps the per-die defect count sampled from the
-	// distribution's inverse CDF walk (default 10000).
+	// distribution's inverse CDF (default 10000).
 	MaxDefectsPerDie int
+	// Workers is the number of simulation goroutines; ≤ 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 // Result is a simulation estimate with a normal-approximation
@@ -44,6 +58,19 @@ type Result struct {
 // CI returns the half-width of the confidence interval at the given
 // number of standard errors (1.96 ≈ 95%).
 func (r Result) CI(z float64) float64 { return z * r.StdErr }
+
+// chunkSize is the shard granularity: small enough that worker loads
+// balance, large enough that the per-chunk PRNG setup is noise.
+const chunkSize = 4096
+
+// chunkSeed derives the PRNG seed of one chunk from the base seed by a
+// splitmix64 step, so neighbouring chunks get decorrelated streams.
+func chunkSeed(base int64, chunk int) int64 {
+	z := uint64(base) + 0x9E3779B97F4A7C15*uint64(chunk+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
 
 // Estimate simulates dies: each die draws a defect count from
 // Options.Defects, each defect independently lands on component i and
@@ -63,8 +90,7 @@ func Estimate(sys *yield.System, opts Options) (Result, error) {
 	if maxDefects == 0 {
 		maxDefects = 10000
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	// Cumulative P_i for component sampling.
+	// Cumulative P_i for component sampling (read-only after setup).
 	c := len(sys.Components)
 	cum := make([]float64, c)
 	acc := 0.0
@@ -73,51 +99,117 @@ func Estimate(sys *yield.System, opts Options) (Result, error) {
 		cum[i] = acc
 	}
 	pl := acc
-
-	sampleCount := func() (int, error) {
-		u := rng.Float64()
-		cdf := 0.0
-		for k := 0; k <= maxDefects; k++ {
-			cdf += opts.Defects.PMF(k)
-			if u < cdf {
-				return k, nil
-			}
-		}
-		return 0, fmt.Errorf("montecarlo: defect count sampling exceeded %d (tail too heavy)", maxDefects)
-	}
-
-	failed := make([]bool, c)
-	functioning := 0
-	for s := 0; s < opts.Samples; s++ {
-		k, err := sampleCount()
-		if err != nil {
-			return Result{}, err
-		}
-		for i := range failed {
-			failed[i] = false
-		}
-		for d := 0; d < k; d++ {
-			u := rng.Float64()
-			if u >= pl {
-				continue // harmless defect
-			}
-			idx := sort.SearchFloat64s(cum, u)
-			if idx < c {
-				failed[idx] = true
-			}
-		}
-		down, err := sys.FaultTree.Eval(failed)
-		if err != nil {
-			return Result{}, err
-		}
-		if !down {
-			functioning++
+	// Tabulate the defect-count CDF once; each die then draws its
+	// count by binary search instead of a fresh PMF walk. The table
+	// stops where the remaining mass is below float64 resolution —
+	// beyond it the old linear walk could never terminate either.
+	countCDF := make([]float64, 0, 64)
+	cdf := 0.0
+	for k := 0; k <= maxDefects; k++ {
+		cdf += opts.Defects.PMF(k)
+		countCDF = append(countCDF, cdf)
+		if 1-cdf < 1e-16 {
+			break
 		}
 	}
-	p := float64(functioning) / float64(opts.Samples)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	numChunks := (opts.Samples + chunkSize - 1) / chunkSize
+	if workers > numChunks {
+		workers = numChunks
+	}
+
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var functioning atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := scratch{failed: make([]bool, c)}
+			for {
+				chunk := int(next.Add(1)) - 1
+				if chunk >= numChunks || firstErr.Load() != nil {
+					return
+				}
+				n := chunkSize
+				if rem := opts.Samples - chunk*chunkSize; rem < n {
+					n = rem
+				}
+				ok, err := simulateChunk(sys, rand.New(rand.NewSource(chunkSeed(opts.Seed, chunk))), n, countCDF, cum, pl, maxDefects, &scratch)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				functioning.Add(int64(ok))
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		return Result{}, err.(error)
+	}
+	p := float64(functioning.Load()) / float64(opts.Samples)
 	return Result{
 		Yield:   p,
 		StdErr:  math.Sqrt(p * (1 - p) / float64(opts.Samples)),
 		Samples: opts.Samples,
 	}, nil
+}
+
+// scratch is one worker's reusable buffers: the per-die failed-state
+// vector and the netlist evaluation values.
+type scratch struct {
+	failed []bool
+	eval   []bool
+}
+
+// simulateChunk runs n dies on one PRNG stream and returns how many
+// functioned.
+func simulateChunk(sys *yield.System, rng *rand.Rand, n int, countCDF, cum []float64, pl float64, maxDefects int, sc *scratch) (int, error) {
+	functioning := 0
+	failed := sc.failed
+	for s := 0; s < n; s++ {
+		u := rng.Float64()
+		k := sort.SearchFloat64s(countCDF, u)
+		// SearchFloat64s finds the first index with cdf ≥ u; the die's
+		// count is the first index with u < cdf, so step past ties.
+		for k < len(countCDF) && countCDF[k] <= u {
+			k++
+		}
+		if k >= len(countCDF) {
+			if len(countCDF) == maxDefects+1 {
+				return 0, fmt.Errorf("montecarlo: defect count sampling exceeded %d (tail too heavy)", maxDefects)
+			}
+			// The table stopped where the residual mass dropped below
+			// float64 resolution; landing past it (probability < 1e-16)
+			// counts as the first untabulated value.
+			k = len(countCDF)
+		}
+		for i := range failed {
+			failed[i] = false
+		}
+		for d := 0; d < k; d++ {
+			v := rng.Float64()
+			if v >= pl {
+				continue // harmless defect
+			}
+			idx := sort.SearchFloat64s(cum, v)
+			if idx < len(failed) {
+				failed[idx] = true
+			}
+		}
+		down, err := sys.FaultTree.EvalWith(failed, &sc.eval)
+		if err != nil {
+			return 0, err
+		}
+		if !down {
+			functioning++
+		}
+	}
+	return functioning, nil
 }

@@ -64,6 +64,39 @@ func TestEstimateDeterministicSeed(t *testing.T) {
 	}
 }
 
+// TestEstimateWorkerCountInvariant is the parallel-determinism
+// contract: for a fixed seed the estimate is bit-identical whatever
+// the worker count, because PRNG streams are assigned per fixed-size
+// chunk, never per goroutine. The sample count spans many chunks so
+// chunk scheduling genuinely interleaves.
+func TestEstimateWorkerCountInvariant(t *testing.T) {
+	sys := tmr(0.12)
+	dist, _ := defects.NewNegativeBinomial(2, 1)
+	const samples = 50000 // > 12 chunks of 4096
+	base, err := Estimate(sys, Options{Defects: dist, Samples: samples, Seed: 99, Workers: 1})
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := Estimate(sys, Options{Defects: dist, Samples: samples, Seed: 99, Workers: workers})
+		if err != nil {
+			t.Fatalf("Estimate(workers=%d): %v", workers, err)
+		}
+		if got.Yield != base.Yield || got.StdErr != base.StdErr {
+			t.Errorf("workers=%d: %v±%v, workers=1: %v±%v",
+				workers, got.Yield, got.StdErr, base.Yield, base.StdErr)
+		}
+	}
+	// Default worker count (GOMAXPROCS) must agree too.
+	got, err := Estimate(sys, Options{Defects: dist, Samples: samples, Seed: 99})
+	if err != nil {
+		t.Fatalf("Estimate(default workers): %v", err)
+	}
+	if got.Yield != base.Yield {
+		t.Errorf("default workers: %v, workers=1: %v", got.Yield, base.Yield)
+	}
+}
+
 func TestEstimateSeriesClosedForm(t *testing.T) {
 	// Series system: yield = P(no lethal defect) = Q'_0.
 	f := logic.New()

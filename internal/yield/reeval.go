@@ -22,11 +22,16 @@ import (
 //
 // The truncation point is fixed at construction: reevaluations supply
 // their own Q'-table truncated at the same M.
+//
+// After construction the Reevaluator is immutable — the ROMDD lives in
+// a frozen snapshot and every evaluation allocates its own scratch
+// state — so Yield, YieldRaw and Sensitivities may be called
+// concurrently from any number of goroutines on one shared instance.
+// Sweep fans a whole grid of evaluation points out over a worker pool.
 type Reevaluator struct {
 	sys      *System
 	m        int
-	mm       *mdd.Manager
-	root     mdd.Node
+	frozen   *mdd.Frozen
 	groupSeq []int
 	// Stats of the one-time build.
 	Result *Result
@@ -70,8 +75,12 @@ func NewReevaluator(sys *System, opts Options) (*Reevaluator, error) {
 		return nil, fmt.Errorf("yield: converting to ROMDD: %w", err)
 	}
 	res.ROMDDSize = mm.Size(mroot)
+	// Freeze the ROMDD into an immutable compact snapshot: the manager
+	// (with its construction hash tables) becomes garbage, and every
+	// later evaluation is a goroutine-safe linear pass.
+	frozen := mm.Freeze(mroot)
 	// Fill the default model's yield for convenience.
-	pg1, err := mm.Prob(mroot, p.probTable(plan.GroupSeq))
+	pg1, err := frozen.Prob(p.probTable(plan.GroupSeq))
 	if err != nil {
 		return nil, err
 	}
@@ -79,8 +88,7 @@ func NewReevaluator(sys *System, opts Options) (*Reevaluator, error) {
 	return &Reevaluator{
 		sys:      sys,
 		m:        p.m,
-		mm:       mm,
-		root:     mroot,
+		frozen:   frozen,
 		groupSeq: plan.GroupSeq,
 		Result:   res,
 	}, nil
@@ -93,6 +101,14 @@ func (r *Reevaluator) M() int { return r.m }
 // P'_1..P'_C (must sum to ≈1), qprime is Q'_0..Q'_M and tail the
 // remaining mass (qprime must have exactly M+1 entries).
 func (r *Reevaluator) YieldRaw(pprime, qprime []float64, tail float64) (float64, error) {
+	return r.yieldRawWith(pprime, qprime, tail, nil)
+}
+
+// yieldRawWith is YieldRaw with optional caller-owned scratch space
+// for the ROMDD pass (nil allocates per call). The arithmetic is
+// identical either way, so buffered and unbuffered calls are
+// bit-identical.
+func (r *Reevaluator) yieldRawWith(pprime, qprime []float64, tail float64, buf *mdd.ProbBuffer) (float64, error) {
 	if len(pprime) != len(r.sys.Components) {
 		return 0, fmt.Errorf("yield: pprime has %d entries, want %d", len(pprime), len(r.sys.Components))
 	}
@@ -110,7 +126,13 @@ func (r *Reevaluator) YieldRaw(pprime, qprime []float64, tail float64) (float64,
 			probs[mvLevel] = pprime
 		}
 	}
-	pg1, err := r.mm.Prob(r.root, probs)
+	var pg1 float64
+	var err error
+	if buf != nil {
+		pg1, err = r.frozen.ProbWith(probs, buf)
+	} else {
+		pg1, err = r.frozen.Prob(probs)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -139,6 +161,7 @@ func (r *Reevaluator) Sensitivities(ps []float64, dist defects.Distribution, del
 	}
 	out := make([]float64, len(ps))
 	work := make([]float64, len(ps))
+	var buf mdd.ProbBuffer
 	for i := range ps {
 		copy(work, ps)
 		lo := ps[i] - delta
@@ -147,12 +170,12 @@ func (r *Reevaluator) Sensitivities(ps []float64, dist defects.Distribution, del
 			lo = 0
 		}
 		work[i] = hi
-		yHi, _, err := r.Yield(work, dist)
+		yHi, _, err := r.yieldWith(work, dist, &buf)
 		if err != nil {
 			return nil, err
 		}
 		work[i] = lo
-		yLo, _, err := r.Yield(work, dist)
+		yLo, _, err := r.yieldWith(work, dist, &buf)
 		if err != nil {
 			return nil, err
 		}
@@ -167,6 +190,13 @@ func (r *Reevaluator) Sensitivities(ps []float64, dist defects.Distribution, del
 // stays at the construction-time M; the returned error bound is the
 // new tail mass beyond it.
 func (r *Reevaluator) Yield(ps []float64, dist defects.Distribution) (yield, errorBound float64, err error) {
+	return r.yieldWith(ps, dist, nil)
+}
+
+// yieldWith is Yield with optional reusable scratch space; it is the
+// shared core of the serial and the parallel (Sweep) paths, which
+// keeps their results bit-identical by construction.
+func (r *Reevaluator) yieldWith(ps []float64, dist defects.Distribution, buf *mdd.ProbBuffer) (yield, errorBound float64, err error) {
 	if len(ps) != len(r.sys.Components) {
 		return 0, 0, fmt.Errorf("yield: ps has %d entries, want %d", len(ps), len(r.sys.Components))
 	}
@@ -192,7 +222,7 @@ func (r *Reevaluator) Yield(ps []float64, dist defects.Distribution) (yield, err
 	for i, p := range ps {
 		pprime[i] = p / pl
 	}
-	y, err := r.YieldRaw(pprime, qprime, tail)
+	y, err := r.yieldRawWith(pprime, qprime, tail, buf)
 	if err != nil {
 		return 0, 0, err
 	}

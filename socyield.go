@@ -78,12 +78,34 @@ func Evaluate(sys *System, opts Options) (*Result, error) { return yield.Evaluat
 func BruteForce(sys *System, opts Options) (*Result, error) { return yield.BruteForce(sys, opts) }
 
 // Reevaluator reevaluates the yield of one system for many defect
-// models without rebuilding decision diagrams.
+// models without rebuilding decision diagrams. It is immutable after
+// construction, so one shared instance serves concurrent Yield,
+// YieldRaw, Sensitivities and Sweep calls from any number of
+// goroutines.
 type Reevaluator = yield.Reevaluator
 
 // NewReevaluator builds the system's ROMDD once for later sweeps.
 func NewReevaluator(sys *System, opts Options) (*Reevaluator, error) {
 	return yield.NewReevaluator(sys, opts)
+}
+
+// SweepPoint is one (per-component lethalities, defect distribution)
+// evaluation request of a batch sweep.
+type SweepPoint = yield.SweepPoint
+
+// SweepResult is the yield estimate for the sweep point at the same
+// index.
+type SweepResult = yield.SweepResult
+
+// SweepOptions configure Reevaluator.Sweep: the worker count (default
+// GOMAXPROCS; results are bit-identical for every worker count) and an
+// optional default distribution.
+type SweepOptions = yield.SweepOptions
+
+// LambdaGrid builds the sweep points for fixed lethalities ps against
+// one distribution per entry of dists — the (λ, α) grid workload.
+func LambdaGrid(ps []float64, dists []Distribution) []SweepPoint {
+	return yield.LambdaGrid(ps, dists)
 }
 
 // Distribution is a distribution of the number of manufacturing
