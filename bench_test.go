@@ -7,6 +7,7 @@ package socyield_test
 // EXPERIMENTS.md records a full run.
 
 import (
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -179,6 +180,37 @@ func BenchmarkSweepSerialVsParallel(b *testing.B) {
 			}
 		}
 	})
+	// instrumented repeats the serial sweep with a live recorder — the
+	// delta against "serial" is the measured instrumentation overhead.
+	b.Run("instrumented", func(b *testing.B) {
+		rec := socyield.NewMetrics()
+		for b.Loop() {
+			s.re.Sweep(s.grid, socyield.SweepOptions{Workers: 1, Recorder: rec})
+		}
+		writeBenchMetrics(b, rec)
+	})
+}
+
+// writeBenchMetrics dumps the recorder to $SOCYIELD_BENCH_METRICS when
+// that is set — the CI benchmark-smoke job uploads the file as an
+// artifact.
+func writeBenchMetrics(b *testing.B, rec *socyield.Metrics) {
+	path := os.Getenv("SOCYIELD_BENCH_METRICS")
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatalf("metrics dump: %v", err)
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		b.Fatalf("metrics dump: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatalf("metrics dump: %v", err)
+	}
+	b.Logf("metrics written to %s", path)
 }
 
 // BenchmarkBaselineMonteCarlo runs the simulation baseline the paper's

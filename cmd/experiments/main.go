@@ -27,6 +27,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"strconv"
@@ -36,6 +38,7 @@ import (
 	"socyield/internal/benchmarks"
 	"socyield/internal/defects"
 	"socyield/internal/experiments"
+	"socyield/internal/obs"
 	"socyield/internal/yield"
 )
 
@@ -55,9 +58,25 @@ func main() {
 		benchJSON = flag.String("bench-json", "", "write the sweep scaling benchmark trajectory to this file")
 		benchCase = flag.String("bench-case", "ESEN8x2:1", "benchmark row for -bench-json")
 		benchPts  = flag.Int("bench-points", 64, "sweep grid size for -bench-json")
+		metricsJS = flag.String("metrics-json", "", "write collected metrics as JSON to this file (\"-\" = stdout)")
+		progress  = flag.Bool("progress", false, "print periodic progress lines for sweeps")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and an expvar metrics dump on this address")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Alpha: *alpha, Epsilon: *epsilon, NodeLimit: *nodeLimit, Workers: *workers}
+	var rec *obs.Registry
+	if *metricsJS != "" || *pprofAddr != "" {
+		rec = obs.NewRegistry()
+	}
+	if *pprofAddr != "" {
+		rec.Publish("socyield")
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof/expvar listening on http://%s/debug/pprof/ and /debug/vars\n", *pprofAddr)
+	}
+	cfg := experiments.Config{Alpha: *alpha, Epsilon: *epsilon, NodeLimit: *nodeLimit, Workers: *workers, Recorder: rec}
 	cases := experiments.QuickCases()
 	if *full || *all {
 		cases = experiments.PaperCases()
@@ -101,13 +120,36 @@ func main() {
 	}
 	if *benchJSON != "" {
 		run("Benchmark: batch sweep serial vs parallel", func() error {
-			return runSweepBench(*benchJSON, *benchCase, *benchPts, *workers, cfg)
+			return runSweepBench(*benchJSON, *benchCase, *benchPts, *workers, *progress, cfg)
 		})
 	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *metricsJS != "" {
+		if err := writeMetrics(rec, *metricsJS); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics dumps the registry snapshot as JSON to path ("-" =
+// stdout).
+func writeMetrics(rec *obs.Registry, path string) error {
+	if path == "-" {
+		return rec.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // sweepBench is the JSON record of one -bench-json run: the one-time
@@ -120,7 +162,17 @@ type sweepBench struct {
 	Cores       int     `json:"cores"`
 	ROMDDNodes  int     `json:"romdd_nodes"`
 	BuildSec    float64 `json:"build_seconds"`
-	Trajectory  []struct {
+	// BuildPhases splits BuildSec into the pipeline's phases, from the
+	// one-time ROMDD construction (seconds per phase).
+	BuildPhases struct {
+		Prepare float64 `json:"prepare"`
+		Encode  float64 `json:"encode"`
+		Order   float64 `json:"order"`
+		Compile float64 `json:"compile"`
+		Convert float64 `json:"convert"`
+		Eval    float64 `json:"eval"`
+	} `json:"build_phases"`
+	Trajectory []struct {
 		Workers int     `json:"workers"`
 		Seconds float64 `json:"seconds"`
 		Speedup float64 `json:"speedup_vs_serial"`
@@ -131,7 +183,7 @@ type sweepBench struct {
 // runSweepBench builds one shared ROMDD, evaluates a (λ', α) grid of
 // points serially and at doubling worker counts, verifies the results
 // are bit-identical, and writes the trajectory as JSON.
-func runSweepBench(path, caseSpec string, points, maxWorkers int, cfg experiments.Config) error {
+func runSweepBench(path, caseSpec string, points, maxWorkers int, progress bool, cfg experiments.Config) error {
 	parsed, err := parseCases(caseSpec)
 	if err != nil || len(parsed) != 1 {
 		return fmt.Errorf("bad -bench-case %q: %v", caseSpec, err)
@@ -160,7 +212,7 @@ func runSweepBench(path, caseSpec string, points, maxWorkers int, cfg experiment
 		return err
 	}
 	t0 := time.Now()
-	re, err := yield.NewReevaluator(sys, yield.Options{Defects: dist, Epsilon: eps})
+	re, err := yield.NewReevaluator(sys, yield.Options{Defects: dist, Epsilon: eps, Recorder: cfg.Recorder})
 	if err != nil {
 		return err
 	}
@@ -173,6 +225,13 @@ func runSweepBench(path, caseSpec string, points, maxWorkers int, cfg experiment
 		BuildSec:    time.Since(t0).Seconds(),
 		Identical:   true,
 	}
+	ph := re.Result.Phases
+	out.BuildPhases.Prepare = ph.Prepare.Seconds()
+	out.BuildPhases.Encode = ph.Encode.Seconds()
+	out.BuildPhases.Order = ph.Order.Seconds()
+	out.BuildPhases.Compile = ph.Compile.Seconds()
+	out.BuildPhases.Convert = ph.Convert.Seconds()
+	out.BuildPhases.Eval = ph.Eval.Seconds()
 	ps := make([]float64, len(sys.Components))
 	for i, c := range sys.Components {
 		ps[i] = c.P
@@ -184,9 +243,14 @@ func runSweepBench(path, caseSpec string, points, maxWorkers int, cfg experiment
 	serial := re.Sweep(grid, yield.SweepOptions{Workers: 1}) // warm-up and reference
 	var serialSec float64
 	for w := 1; w <= maxWorkers; w *= 2 {
+		var meter *obs.Progress
+		if progress {
+			meter = obs.NewProgress(os.Stderr, fmt.Sprintf("sweep w=%d", w), len(grid), 0)
+		}
 		t0 = time.Now()
-		res := re.Sweep(grid, yield.SweepOptions{Workers: w})
+		res := re.Sweep(grid, yield.SweepOptions{Workers: w, Recorder: cfg.Recorder, Progress: meter})
 		sec := time.Since(t0).Seconds()
+		meter.Close()
 		if w == 1 {
 			serialSec = sec
 		}

@@ -16,11 +16,19 @@
 //
 // -sweep evaluates the yield for each listed λ on one shared ROMDD
 // (built once), fanning the points out over -workers goroutines.
+//
+// Instrumentation: -metrics-json FILE dumps every counter, gauge,
+// histogram and phase span collected during the run as JSON ("-" for
+// stdout); -progress prints periodic completion lines for sweeps and
+// Monte-Carlo runs; -pprof ADDR serves net/http/pprof and an expvar
+// dump of the live metrics on ADDR for the duration of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"strconv"
@@ -31,6 +39,7 @@ import (
 	"socyield/internal/defects"
 	"socyield/internal/ftdsl"
 	"socyield/internal/montecarlo"
+	"socyield/internal/obs"
 	"socyield/internal/order"
 	"socyield/internal/reliability"
 	"socyield/internal/yield"
@@ -61,8 +70,28 @@ func run() error {
 		sweep     = flag.String("sweep", "", "comma-separated λ values for a batch sweep on the shared ROMDD")
 		workers   = flag.Int("workers", 0, "parallel workers for -sweep and -mc (0 = all cores)")
 		verbose   = flag.Bool("v", false, "print per-phase statistics")
+		metricsJS = flag.String("metrics-json", "", "write collected metrics as JSON to this file (\"-\" = stdout)")
+		progress  = flag.Bool("progress", false, "print periodic progress lines for sweeps and Monte-Carlo runs")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and an expvar metrics dump on this address")
 	)
 	flag.Parse()
+
+	// One registry instruments the whole run. It is created whenever any
+	// export path wants it; a nil registry records nothing.
+	var rec *obs.Registry
+	if *metricsJS != "" || *pprofAddr != "" {
+		rec = obs.NewRegistry()
+	}
+	if *pprofAddr != "" {
+		rec.Publish("socyield")
+		srv := &http.Server{Addr: *pprofAddr}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "yieldsoc: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof/expvar listening on http://%s/debug/pprof/ and /debug/vars\n", *pprofAddr)
+	}
 
 	sys, err := loadSystem(*benchName, *file)
 	if err != nil {
@@ -88,6 +117,7 @@ func run() error {
 	opts := yield.Options{
 		Defects: dist, Epsilon: *eps,
 		MVOrder: mv, BitOrder: bits, NodeLimit: *nodeLimit,
+		Recorder: rec,
 	}
 	start := time.Now()
 	res, err := yield.Evaluate(sys, opts)
@@ -98,14 +128,20 @@ func run() error {
 
 	fmt.Printf("system      %s (C=%d components, %d gates)\n", sys.Name, len(sys.Components), sys.FaultTree.NumGates())
 	fmt.Printf("defects     %v, P_L=%.4g, λ'=%.4g\n", dist, res.PL, res.LambdaPrime)
-	fmt.Printf("truncation  M=%d (ε=%g, actual tail %.3g)\n", res.M, *eps, res.ErrorBound)
+	fmt.Printf("truncation  M=%d (ε=%g)\n", res.M, *eps)
+	fmt.Printf("error bound %.3g (tail mass beyond M=%d; Y_true - Y_M ≤ bound)\n", res.ErrorBound, res.M)
 	fmt.Printf("yield       %.6f  (true yield in [%.6f, %.6f])\n", res.Yield, res.Yield, res.Yield+res.ErrorBound)
 	if *verbose {
 		fmt.Printf("G function  %d gates over %d binary variables\n", res.GGates, res.BinaryVars)
 		fmt.Printf("coded ROBDD %d nodes (peak %d live)\n", res.CodedROBDDSize, res.ROBDDPeak)
-		fmt.Printf("ROMDD       %d nodes\n", res.ROMDDSize)
-		fmt.Printf("time        %v (order %v, compile %v, convert %v, eval %v)\n",
+		fmt.Printf("ROMDD       %d nodes (max level width %d)\n", res.ROMDDSize, res.Stats.ROMDDMaxWidth)
+		fmt.Printf("apply cache %d hits / %d misses; unique table %d hits, %d nodes created\n",
+			res.Stats.BDD.ApplyCacheHits, res.Stats.BDD.ApplyCacheMisses,
+			res.Stats.BDD.UniqueTableHits, res.Stats.BDD.NodesCreated)
+		fmt.Printf("time        %v (prepare %v, encode %v, order %v, compile %v, convert %v, eval %v)\n",
 			elapsed.Round(time.Millisecond),
+			res.Phases.Prepare.Round(time.Millisecond),
+			res.Phases.Encode.Round(time.Millisecond),
 			res.Phases.Order.Round(time.Millisecond),
 			res.Phases.Compile.Round(time.Millisecond),
 			res.Phases.Convert.Round(time.Millisecond),
@@ -166,8 +202,15 @@ func run() error {
 				return err
 			}
 		}
+		var meter *obs.Progress
+		if *progress {
+			meter = obs.NewProgress(os.Stderr, "sweep", len(lambdas), 0)
+		}
 		start := time.Now()
-		results := re.Sweep(yield.LambdaGrid(ps, dists), yield.SweepOptions{Workers: *workers})
+		results := re.Sweep(yield.LambdaGrid(ps, dists), yield.SweepOptions{
+			Workers: *workers, Recorder: rec, Progress: meter,
+		})
+		meter.Close()
 		fmt.Printf("sweep over %d λ values (ROMDD built once, %d nodes, %v for all points):\n",
 			len(lambdas), re.Result.ROMDDSize, time.Since(start).Round(time.Microsecond))
 		for i, sr := range results {
@@ -179,9 +222,16 @@ func run() error {
 		}
 	}
 	if *mcSamples > 0 {
+		var meter *obs.Progress
+		if *progress {
+			chunks := (*mcSamples + 4095) / 4096
+			meter = obs.NewProgress(os.Stderr, "monte-carlo", chunks, 0)
+		}
 		mc, err := montecarlo.Estimate(sys, montecarlo.Options{
 			Defects: dist, Samples: *mcSamples, Seed: 1, Workers: *workers,
+			Recorder: rec, Progress: meter,
 		})
+		meter.Close()
 		if err != nil {
 			return err
 		}
@@ -208,7 +258,29 @@ func run() error {
 			fmt.Printf("  R(%g) = %.6f\n", pt.T, pt.Reliability)
 		}
 	}
+	if *metricsJS != "" {
+		if err := writeMetrics(rec, *metricsJS); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeMetrics dumps the registry snapshot as JSON to path ("-" =
+// stdout).
+func writeMetrics(rec *obs.Registry, path string) error {
+	if path == "-" {
+		return rec.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadSystem(bench, file string) (*yield.System, error) {

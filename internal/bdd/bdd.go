@@ -68,6 +68,14 @@ type Manager struct {
 	stamp     []int32 // visitation stamps for traversals
 	stampGen  int32
 	limitHit  bool
+	// Instrumentation totals, maintained as plain fields because
+	// construction is single-threaded by contract; Stats snapshots them.
+	cacheHits    int64
+	cacheMisses  int64
+	uniqueHits   int64
+	nodesCreated int64
+	tableGrowths int64
+	gcFreed      int64
 }
 
 type cacheEntry struct {
@@ -140,6 +148,55 @@ func (m *Manager) PeakLive() int { return m.peakLive }
 // GCs returns the number of garbage collections performed.
 func (m *Manager) GCs() int { return m.gcCount }
 
+// Stats is a point-in-time snapshot of the manager's internal
+// instrumentation: the ITE operation cache, the unique table, node
+// occupancy, and garbage collection. Counting uses plain (non-atomic)
+// fields on the construction path, so it is effectively free; Stats
+// must be called from the constructing goroutine or after construction
+// has finished.
+type Stats struct {
+	// Live and PeakLive are current and peak live node counts
+	// (including the two terminals).
+	Live     int
+	PeakLive int
+	// ArenaNodes is the arena length (live + free-listed slots).
+	ArenaNodes int
+	// UniqueTableBuckets is the current unique-table bucket count;
+	// UniqueTableGrowths how many times it doubled.
+	UniqueTableBuckets int
+	UniqueTableGrowths int64
+	// UniqueTableHits counts mk calls answered by an existing node;
+	// NodesCreated counts fresh node allocations.
+	UniqueTableHits int64
+	NodesCreated    int64
+	// ApplyCacheHits/Misses count ITE operation-cache lookups. The
+	// cache is lossy, so Misses includes evictions.
+	ApplyCacheHits   int64
+	ApplyCacheMisses int64
+	ApplyCacheSize   int
+	// GCs counts garbage collections, GCFreed the total nodes freed.
+	GCs     int
+	GCFreed int64
+}
+
+// Stats returns the current instrumentation snapshot.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Live:               m.live,
+		PeakLive:           m.peakLive,
+		ArenaNodes:         len(m.nodes),
+		UniqueTableBuckets: len(m.buckets),
+		UniqueTableGrowths: m.tableGrowths,
+		UniqueTableHits:    m.uniqueHits,
+		NodesCreated:       m.nodesCreated,
+		ApplyCacheHits:     m.cacheHits,
+		ApplyCacheMisses:   m.cacheMisses,
+		ApplyCacheSize:     len(m.cache),
+		GCs:                m.gcCount,
+		GCFreed:            m.gcFreed,
+	}
+}
+
 func (m *Manager) resizeBuckets(n int) {
 	m.buckets = make([]int32, n)
 	for i := range m.buckets {
@@ -184,6 +241,7 @@ func (m *Manager) mk(level int32, lo, hi Node) Node {
 	for i := m.buckets[b]; i != nilIdx; i = m.nodes[i].next {
 		nd := &m.nodes[i]
 		if nd.level == level && nd.lo == lo && nd.hi == hi {
+			m.uniqueHits++
 			return Node(i)
 		}
 	}
@@ -201,6 +259,7 @@ func (m *Manager) mk(level int32, lo, hi Node) Node {
 		m.nodes = append(m.nodes, node{})
 		m.refs = append(m.refs, 0)
 		if len(m.nodes) > 2*len(m.buckets) {
+			m.tableGrowths++
 			m.resizeBuckets(len(m.buckets) * 2)
 			if len(m.cache) < len(m.buckets) {
 				m.resizeCache(len(m.buckets))
@@ -211,6 +270,7 @@ func (m *Manager) mk(level int32, lo, hi Node) Node {
 	m.nodes[idx] = node{level: level, lo: lo, hi: hi, next: m.buckets[b]}
 	m.refs[idx] = 0
 	m.buckets[b] = idx
+	m.nodesCreated++
 	m.live++
 	if m.live > m.peakLive {
 		m.peakLive = m.live
@@ -341,8 +401,10 @@ func (m *Manager) ite(f, g, h Node) Node {
 	}
 	slot := &m.cache[mix(uint32(f), uint32(g), uint32(h))&m.cacheMask]
 	if slot.op == opITE && slot.f == f && slot.g == g && slot.h == h {
+		m.cacheHits++
 		return slot.result
 	}
+	m.cacheMisses++
 	top := min3(m.nodes[f].level, m.nodes[g].level, m.nodes[h].level)
 	f0, f1 := m.cofactor(f, top)
 	g0, g1 := m.cofactor(g, top)
@@ -605,6 +667,7 @@ func (m *Manager) GC() int {
 	}
 	if freed > 0 {
 		m.live -= freed
+		m.gcFreed += int64(freed)
 		m.resizeBuckets(len(m.buckets))
 	}
 	for i := range m.cache {

@@ -88,9 +88,13 @@ func (s Spec) Validate() error {
 // simulate walks from n through the binary levels of MV group g,
 // following the bits of value, and returns the first node outside the
 // layer (an entry node of a lower layer or a terminal) — the paper's
-// n_{s_i}.
-func simulate(bm *bdd.Manager, s *Spec, n bdd.Node, g int, value int) bdd.Node {
+// n_{s_i}. When steps is non-nil it accumulates the number of binary
+// nodes traversed.
+func simulate(bm *bdd.Manager, s *Spec, n bdd.Node, g int, value int, steps *int64) bdd.Node {
 	for !bm.IsTerminal(n) && s.LevelGroup[bm.Level(n)] == g {
+		if steps != nil {
+			*steps++
+		}
 		if value&(1<<s.LevelBit[bm.Level(n)]) != 0 {
 			n = bm.Hi(n)
 		} else {
@@ -100,10 +104,27 @@ func simulate(bm *bdd.Manager, s *Spec, n bdd.Node, g int, value int) bdd.Node {
 	return n
 }
 
+// Stats instruments one coded-ROBDD → ROMDD conversion: how much work
+// each layer (multiple-valued variable) of the coded ROBDD required.
+type Stats struct {
+	// EntryNodes[mvLevel] is the number of distinct layer-entry nodes
+	// converted at that MV level — the paper's per-layer node front.
+	EntryNodes []int64
+	// SimSteps is the total number of binary-node steps taken by the
+	// codeword simulations across all layers.
+	SimSteps int64
+}
+
 // ToMDD converts the coded ROBDD rooted at root in bm into an ROMDD in
 // mm, which must have been created with domains equal to spec.Domains.
 // It returns the ROMDD root.
 func ToMDD(bm *bdd.Manager, root bdd.Node, mm *mdd.Manager, spec Spec) (mdd.Node, error) {
+	return ToMDDWithStats(bm, root, mm, spec, nil)
+}
+
+// ToMDDWithStats is ToMDD recording per-layer conversion statistics
+// into st when st is non-nil. The conversion itself is identical.
+func ToMDDWithStats(bm *bdd.Manager, root bdd.Node, mm *mdd.Manager, spec Spec, st *Stats) (mdd.Node, error) {
 	if err := spec.Validate(); err != nil {
 		return mdd.False, err
 	}
@@ -117,6 +138,11 @@ func ToMDD(bm *bdd.Manager, root bdd.Node, mm *mdd.Manager, spec Spec) (mdd.Node
 		if mm.Domain(g) != d {
 			return mdd.False, fmt.Errorf("convert: MDD domain %d is %d, spec wants %d", g, mm.Domain(g), d)
 		}
+	}
+	var steps *int64
+	if st != nil {
+		st.EntryNodes = make([]int64, len(spec.Domains))
+		steps = &st.SimSteps
 	}
 	memo := make(map[bdd.Node]mdd.Node)
 	var err error
@@ -135,9 +161,12 @@ func ToMDD(bm *bdd.Manager, root bdd.Node, mm *mdd.Manager, spec Spec) (mdd.Node
 			return r
 		}
 		g := spec.LevelGroup[bm.Level(n)]
+		if st != nil {
+			st.EntryNodes[g]++
+		}
 		kids := make([]mdd.Node, spec.Domains[g])
 		for val := range kids {
-			kids[val] = conv(simulate(bm, &spec, n, g, val))
+			kids[val] = conv(simulate(bm, &spec, n, g, val, steps))
 			if err != nil {
 				return mdd.False
 			}
@@ -197,7 +226,7 @@ func Prob(bm *bdd.Manager, root bdd.Node, spec Spec, probs [][]float64) (float64
 			if p == 0 {
 				continue
 			}
-			total += p * walk(simulate(bm, &spec, n, g, val))
+			total += p * walk(simulate(bm, &spec, n, g, val, nil))
 		}
 		memo[n] = total
 		return total

@@ -22,6 +22,7 @@ import (
 	"socyield/internal/benchmarks"
 	"socyield/internal/defects"
 	"socyield/internal/montecarlo"
+	"socyield/internal/obs"
 	"socyield/internal/order"
 	"socyield/internal/yield"
 )
@@ -87,6 +88,11 @@ type Config struct {
 	// node budget: it applies per case, so W concurrent cases can hold
 	// W × NodeLimit nodes at peak.
 	Workers int
+	// Recorder, when non-nil, instruments every evaluation the table
+	// drivers run: engine counters accumulate across cases, gauges
+	// reflect the last case finished. The registry is concurrency-safe,
+	// so it composes with Workers > 1.
+	Recorder *obs.Registry
 }
 
 const (
@@ -253,7 +259,7 @@ func Table2(cases []Case, cfg Config) ([]Table2Row, error) {
 			res, err := yield.Evaluate(sys, yield.Options{
 				Defects: dist, Epsilon: cfg.Epsilon,
 				MVOrder: mv, BitOrder: order.BitML,
-				NodeLimit: cfg.limit(defaultOrderingNodeLimit),
+				NodeLimit: cfg.limit(defaultOrderingNodeLimit), Recorder: cfg.Recorder,
 			})
 			switch {
 			case err == nil:
@@ -299,7 +305,7 @@ func Table3(cases []Case, cfg Config) ([]Table3Row, error) {
 			res, err := yield.Evaluate(sys, yield.Options{
 				Defects: dist, Epsilon: cfg.Epsilon,
 				MVOrder: order.MVWeight, BitOrder: bk,
-				NodeLimit: cfg.limit(defaultPerfNodeLimit),
+				NodeLimit: cfg.limit(defaultPerfNodeLimit), Recorder: cfg.Recorder,
 			})
 			switch {
 			case err == nil:
@@ -357,7 +363,7 @@ func Table4(cases []Case, cfg Config) ([]Table4Row, error) {
 		res, err := yield.Evaluate(sys, yield.Options{
 			Defects: dist, Epsilon: cfg.Epsilon,
 			MVOrder: order.MVWeight, BitOrder: order.BitML,
-			NodeLimit: cfg.limit(defaultPerfNodeLimit),
+			NodeLimit: cfg.limit(defaultPerfNodeLimit), Recorder: cfg.Recorder,
 		})
 		row := Table4Row{Case: cs, CPU: time.Since(start)}
 		if paper, ok := paperTable4[cs]; ok {
@@ -411,7 +417,7 @@ func AblationDirectMDD(cases []Case, cfg Config) ([]AblationRow, error) {
 		opts := yield.Options{
 			Defects: dist, Epsilon: cfg.Epsilon,
 			MVOrder: order.MVWeight, BitOrder: order.BitML,
-			NodeLimit: cfg.limit(defaultPerfNodeLimit),
+			NodeLimit: cfg.limit(defaultPerfNodeLimit), Recorder: cfg.Recorder,
 		}
 		start := time.Now()
 		viaCoded, err := yield.Evaluate(sys, opts)
@@ -472,7 +478,7 @@ func BaselineMonteCarlo(cases []Case, samples int, cfg Config) ([]BaselineRow, e
 		}
 		start := time.Now()
 		exact, err := yield.Evaluate(sys, yield.Options{
-			Defects: dist, Epsilon: cfg.Epsilon, NodeLimit: cfg.limit(defaultPerfNodeLimit),
+			Defects: dist, Epsilon: cfg.Epsilon, NodeLimit: cfg.limit(defaultPerfNodeLimit), Recorder: cfg.Recorder,
 		})
 		if err != nil {
 			return BaselineRow{}, fmt.Errorf("%v: %w", cs, err)

@@ -61,6 +61,14 @@ type Manager struct {
 	kids    []Node
 	buckets []int32
 	limit   int
+	// Instrumentation totals, maintained as plain fields because
+	// construction is single-threaded by contract; BuildStats snapshots
+	// them.
+	uniqueHits   int64
+	nodesCreated int64
+	reduced      int64
+	memoHits     int64
+	memoMisses   int64
 }
 
 // Option configures a Manager.
@@ -108,6 +116,37 @@ func (m *Manager) Domain(level int) int { return int(m.domains[level]) }
 // NumNodes returns the total number of nodes allocated, including the
 // two terminals.
 func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// BuildStats is a point-in-time snapshot of the manager's construction
+// instrumentation. (Stats, by contrast, describes the structure of one
+// rooted diagram.) It must be read from the constructing goroutine or
+// after construction has finished.
+type BuildStats struct {
+	// Nodes is the total node count including terminals.
+	Nodes int
+	// UniqueTableHits counts mk calls answered by an existing node,
+	// NodesCreated fresh allocations, and Reductions mk calls collapsed
+	// by the all-children-equal reduction rule.
+	UniqueTableHits int64
+	NodesCreated    int64
+	Reductions      int64
+	// ApplyMemoHits/Misses count lookups in the per-operation memo
+	// tables of And/Or/Xor.
+	ApplyMemoHits   int64
+	ApplyMemoMisses int64
+}
+
+// BuildStats returns the current construction instrumentation.
+func (m *Manager) BuildStats() BuildStats {
+	return BuildStats{
+		Nodes:           len(m.nodes),
+		UniqueTableHits: m.uniqueHits,
+		NodesCreated:    m.nodesCreated,
+		Reductions:      m.reduced,
+		ApplyMemoHits:   m.memoHits,
+		ApplyMemoMisses: m.memoMisses,
+	}
+}
 
 // Level returns the level of n, or NumVars() for terminals.
 func (m *Manager) Level(n Node) int { return int(m.nodes[n].level) }
@@ -177,6 +216,7 @@ func (m *Manager) mk(level int32, kids []Node) Node {
 		}
 	}
 	if allEq {
+		m.reduced++
 		return kids[0]
 	}
 	b := m.hashNode(level, kids)
@@ -194,12 +234,14 @@ func (m *Manager) mk(level int32, kids []Node) Node {
 			}
 		}
 		if same {
+			m.uniqueHits++
 			return Node(i)
 		}
 	}
 	if m.limit > 0 && len(m.nodes) >= m.limit {
 		panic(errLimitPanic{})
 	}
+	m.nodesCreated++
 	off := int32(len(m.kids))
 	m.kids = append(m.kids, kids...)
 	idx := int32(len(m.nodes))
@@ -325,8 +367,10 @@ func (m *Manager) apply(op opKind, a, b Node, memo map[applyKey]Node) Node {
 	}
 	key := applyKey{op: op, a: a, b: b}
 	if r, ok := memo[key]; ok {
+		m.memoHits++
 		return r
 	}
+	m.memoMisses++
 	la, lb := m.nodes[a].level, m.nodes[b].level
 	top := la
 	if lb < top {

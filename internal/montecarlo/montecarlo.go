@@ -21,8 +21,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"socyield/internal/defects"
+	"socyield/internal/obs"
 	"socyield/internal/yield"
 )
 
@@ -41,6 +43,14 @@ type Options struct {
 	// Workers is the number of simulation goroutines; ≤ 0 means
 	// runtime.GOMAXPROCS(0).
 	Workers int
+	// Recorder, when non-nil, receives simulation instrumentation:
+	// "mc.chunks"/"mc.samples" counters, a "mc.chunk_ns" latency
+	// histogram and a "mc.samples_per_sec" gauge of the effective
+	// aggregate rate. Per-chunk granularity (4096 dies), so the per-die
+	// loop stays clock-free.
+	Recorder *obs.Registry
+	// Progress, when non-nil, is advanced by one per completed chunk.
+	Progress *obs.Progress
 }
 
 // Result is a simulation estimate with a normal-approximation
@@ -122,6 +132,17 @@ func Estimate(sys *yield.System, opts Options) (Result, error) {
 		workers = numChunks
 	}
 
+	rec := opts.Recorder
+	var chunkNS *obs.Histogram
+	var chunkCnt, sampleCnt *obs.Counter
+	var runStart time.Time
+	if rec != nil {
+		chunkNS = rec.Histogram("mc.chunk_ns")
+		chunkCnt = rec.Counter("mc.chunks")
+		sampleCnt = rec.Counter("mc.samples")
+		rec.Gauge("mc.workers").Set(int64(workers))
+		runStart = time.Now()
+	}
 	var next atomic.Int64
 	var firstErr atomic.Value
 	var functioning atomic.Int64
@@ -140,16 +161,31 @@ func Estimate(sys *yield.System, opts Options) (Result, error) {
 				if rem := opts.Samples - chunk*chunkSize; rem < n {
 					n = rem
 				}
+				var t0 time.Time
+				if rec != nil {
+					t0 = time.Now()
+				}
 				ok, err := simulateChunk(sys, rand.New(rand.NewSource(chunkSeed(opts.Seed, chunk))), n, countCDF, cum, pl, maxDefects, &scratch)
 				if err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
+				if rec != nil {
+					chunkNS.Observe(int64(time.Since(t0)))
+					chunkCnt.Inc()
+					sampleCnt.Add(int64(n))
+				}
+				opts.Progress.Add(1)
 				functioning.Add(int64(ok))
 			}
 		}()
 	}
 	wg.Wait()
+	if rec != nil {
+		if wall := time.Since(runStart).Seconds(); wall > 0 {
+			rec.FloatGauge("mc.samples_per_sec").Set(float64(sampleCnt.Load()) / wall)
+		}
+	}
 	if err := firstErr.Load(); err != nil {
 		return Result{}, err.(error)
 	}

@@ -2,11 +2,13 @@ package montecarlo
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"testing"
 
 	"socyield/internal/defects"
 	"socyield/internal/logic"
+	"socyield/internal/obs"
 	"socyield/internal/yield"
 )
 
@@ -163,5 +165,45 @@ func TestEstimateLargerSystem(t *testing.T) {
 	}
 	if diff := math.Abs(est.Yield - exact.Yield); diff > 5*est.StdErr+1e-7 {
 		t.Errorf("MC %v vs exact %v: diff %v", est.Yield, exact.Yield, diff)
+	}
+}
+
+// TestEstimateRecorder checks the simulation instrumentation: chunk
+// and sample counters, determinism under a recorder, and the progress
+// hook advancing once per chunk.
+func TestEstimateRecorder(t *testing.T) {
+	sys := tmr(0.15)
+	dist, _ := defects.NewNegativeBinomial(2, 2)
+	const samples = 10000 // 3 chunks of 4096
+	plain, err := Estimate(sys, Options{Defects: dist, Samples: samples, Seed: 7})
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	rec := obs.NewRegistry()
+	meter := obs.NewProgress(io.Discard, "mc", 3, 0)
+	instr, err := Estimate(sys, Options{
+		Defects: dist, Samples: samples, Seed: 7, Workers: 2,
+		Recorder: rec, Progress: meter,
+	})
+	meter.Close()
+	if err != nil {
+		t.Fatalf("instrumented Estimate: %v", err)
+	}
+	if instr.Yield != plain.Yield {
+		t.Errorf("recorder changed the estimate: %v vs %v", instr.Yield, plain.Yield)
+	}
+	snap := rec.Snapshot()
+	wantChunks := int64((samples + 4095) / 4096)
+	if snap.Counters["mc.chunks"] != wantChunks {
+		t.Errorf("mc.chunks = %d, want %d", snap.Counters["mc.chunks"], wantChunks)
+	}
+	if snap.Counters["mc.samples"] != samples {
+		t.Errorf("mc.samples = %d, want %d", snap.Counters["mc.samples"], samples)
+	}
+	if meter.Done() != wantChunks {
+		t.Errorf("progress advanced %d chunks, want %d", meter.Done(), wantChunks)
+	}
+	if snap.FloatGauges["mc.samples_per_sec"] <= 0 {
+		t.Error("mc.samples_per_sec not positive")
 	}
 }

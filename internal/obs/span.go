@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a run. Spans nest into a tree: the
+// pipeline opens a root span per evaluation and a child span per phase
+// (prepare, encode, order, compile, convert, eval), so a snapshot shows
+// where the wall time went. Timing uses the monotonic clock carried by
+// time.Time, so spans are immune to wall-clock adjustments.
+//
+// All methods are safe for concurrent use and no-ops on a nil
+// receiver, so un-instrumented runs pay nothing.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	children []*Span
+}
+
+func newSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child opens a sub-span. Returns nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stops the span and returns its duration. Repeated End calls keep
+// the first duration. On a nil receiver it returns 0.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	return s.dur
+}
+
+// Duration returns the span's duration — final if ended, elapsed so
+// far otherwise. 0 on a nil receiver.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Name returns the span's name ("" on a nil receiver).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SpanSnapshot is the exported state of one span subtree.
+type SpanSnapshot struct {
+	Name string `json:"name"`
+	// Seconds is the span duration (elapsed so far when still running).
+	Seconds float64 `json:"seconds"`
+	// Running marks spans that had not ended at snapshot time.
+	Running  bool           `json:"running,omitempty"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+func (s *Span) snapshot() SpanSnapshot {
+	s.mu.Lock()
+	dur := s.dur
+	ended := s.ended
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if !ended {
+		dur = time.Since(s.start)
+	}
+	out := SpanSnapshot{Name: s.name, Seconds: dur.Seconds(), Running: !ended}
+	for _, c := range children {
+		out.Children = append(out.Children, c.snapshot())
+	}
+	return out
+}

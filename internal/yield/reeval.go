@@ -2,6 +2,7 @@ package yield
 
 import (
 	"fmt"
+	"time"
 
 	"socyield/internal/bdd"
 	"socyield/internal/compile"
@@ -38,23 +39,51 @@ type Reevaluator struct {
 }
 
 // NewReevaluator runs the construction phases of Evaluate (using
-// opts.Defects only to fix M) and retains the ROMDD.
+// opts.Defects only to fix M) and retains the ROMDD. The one-time
+// build's per-phase wall times, structural statistics and engine
+// counters are retained in Result (and stream into Options.Recorder
+// when set).
 func NewReevaluator(sys *System, opts Options) (*Reevaluator, error) {
+	rec := opts.Recorder
+	buildSpan := rec.Span("reevaluator-build")
+	defer buildSpan.End()
+
+	sp := buildSpan.Child("prepare")
+	t0 := time.Now()
 	p, err := prepare(sys, opts)
+	prepDur := time.Since(t0)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = buildSpan.Child("encode")
+	t0 = time.Now()
 	g, err := encode.BuildG(sys.FaultTree, p.m)
+	encDur := time.Since(t0)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	res := p.baseResult(g)
+	res.Phases.Prepare = prepDur
+	res.Phases.Encode = encDur
+
+	sp = buildSpan.Child("order")
+	t0 = time.Now()
 	plan, err := order.Assemble(g.Netlist, g.Groups, p.opts.MVOrder, p.opts.BitOrder)
+	res.Phases.Order = time.Since(t0)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+
+	sp = buildSpan.Child("compile")
+	t0 = time.Now()
 	bm := bdd.New(g.Netlist.NumInputs(), bdd.WithNodeLimit(p.opts.NodeLimit))
 	root, err := compile.Netlist(bm, g.Netlist, plan.BinaryLevels)
+	res.Phases.Compile = time.Since(t0)
+	sp.End()
+	res.Stats.BDD = bm.Stats()
 	if err != nil {
 		res.ROBDDPeak = bm.PeakLive()
 		return nil, fmt.Errorf("yield: compiling coded ROBDD: %w", err)
@@ -66,25 +95,45 @@ func NewReevaluator(sys *System, opts Options) (*Reevaluator, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	sp = buildSpan.Child("convert")
+	t0 = time.Now()
 	mm, err := mdd.New(spec.Domains, mdd.WithNodeLimit(p.opts.NodeLimit))
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
-	mroot, err := convert.ToMDD(bm, root, mm, spec)
+	mroot, err := convert.ToMDDWithStats(bm, root, mm, spec, &res.Stats.Convert)
+	res.Phases.Convert = time.Since(t0)
+	sp.End()
+	res.Stats.MDD = mm.BuildStats()
 	if err != nil {
 		return nil, fmt.Errorf("yield: converting to ROMDD: %w", err)
 	}
-	res.ROMDDSize = mm.Size(mroot)
+	ms := mm.ComputeStats(mroot)
+	res.ROMDDSize = ms.Nodes
+	res.Stats.ROMDDPerLevel = ms.PerLevel
+	res.Stats.ROMDDMaxWidth = ms.MaxWidth
+	if res.ROMDDSize > 0 {
+		res.Stats.ROBDDToROMDDRatio = float64(res.CodedROBDDSize) / float64(res.ROMDDSize)
+	}
+
 	// Freeze the ROMDD into an immutable compact snapshot: the manager
 	// (with its construction hash tables) becomes garbage, and every
 	// later evaluation is a goroutine-safe linear pass.
+	sp = buildSpan.Child("eval")
+	t0 = time.Now()
 	frozen := mm.Freeze(mroot)
 	// Fill the default model's yield for convenience.
 	pg1, err := frozen.Prob(p.probTable(plan.GroupSeq))
+	res.Phases.Eval = time.Since(t0)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	res.Yield = 1 - pg1
+	res.Stats.publish(rec)
+	publishResult(rec, res)
 	return &Reevaluator{
 		sys:      sys,
 		m:        p.m,

@@ -29,6 +29,7 @@ import (
 	"socyield/internal/encode"
 	"socyield/internal/logic"
 	"socyield/internal/mdd"
+	"socyield/internal/obs"
 	"socyield/internal/order"
 )
 
@@ -125,6 +126,12 @@ type Options struct {
 	// set together with ForceMSet; used by experiments that pin M.
 	ForceM    int
 	ForceMSet bool
+	// Recorder, when non-nil, receives the run's metrics: a span tree
+	// of the pipeline phases, the decision-diagram engine counters
+	// (apply-cache hits/misses, unique-table growth, GC activity), and
+	// the structural gauges of the result. A nil Recorder disables all
+	// metric recording at near-zero cost — hot paths guard on it.
+	Recorder *obs.Registry
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -153,8 +160,13 @@ func (o *Options) withDefaults() (Options, error) {
 	return out, nil
 }
 
-// Phases records per-phase wall-clock times.
+// Phases records per-phase wall-clock times, covering the pipeline end
+// to end: model preparation (thinning, truncation point), G-function
+// synthesis, variable ordering, coded-ROBDD compilation, ROMDD
+// conversion, and probability evaluation.
 type Phases struct {
+	Prepare time.Duration
+	Encode  time.Duration
 	Order   time.Duration
 	Compile time.Duration
 	Convert time.Duration
@@ -162,7 +174,9 @@ type Phases struct {
 }
 
 // Total returns the summed phase time.
-func (p Phases) Total() time.Duration { return p.Order + p.Compile + p.Convert + p.Eval }
+func (p Phases) Total() time.Duration {
+	return p.Prepare + p.Encode + p.Order + p.Compile + p.Convert + p.Eval
+}
 
 // Result reports the outcome of an evaluation.
 type Result struct {
@@ -188,6 +202,11 @@ type Result struct {
 	ROMDDSize      int
 	// Phases holds per-phase timings.
 	Phases Phases
+	// Stats aggregates the decision-diagram engines' internal
+	// instrumentation (apply caches, unique tables, GC, per-layer
+	// conversion work). It is populated by every route that builds
+	// diagrams, independent of Options.Recorder.
+	Stats EngineStats
 }
 
 // prepared carries the model quantities shared by all routes.
@@ -281,34 +300,58 @@ func groupMeta(g *encode.GFunc) (groupOf []int, bitOf []uint) {
 
 // Evaluate runs the full method of the paper and returns the yield
 // estimate with its error bound and the structural statistics of
-// Table 4.
+// Table 4. When Options.Recorder is set, the phases additionally
+// report as a span tree and the engine counters flush into the
+// registry.
 func Evaluate(sys *System, opts Options) (*Result, error) {
+	rec := opts.Recorder
+	evalSpan := rec.Span("evaluate")
+	defer evalSpan.End()
+
+	sp := evalSpan.Child("prepare")
+	t0 := time.Now()
 	p, err := prepare(sys, opts)
+	prepDur := time.Since(t0)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+
+	sp = evalSpan.Child("encode")
+	t0 = time.Now()
 	g, err := encode.BuildG(sys.FaultTree, p.m)
+	encDur := time.Since(t0)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	res := p.baseResult(g)
+	res.Phases.Prepare = prepDur
+	res.Phases.Encode = encDur
 
-	t0 := time.Now()
+	sp = evalSpan.Child("order")
+	t0 = time.Now()
 	plan, err := order.Assemble(g.Netlist, g.Groups, p.opts.MVOrder, p.opts.BitOrder)
+	res.Phases.Order = time.Since(t0)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	res.Phases.Order = time.Since(t0)
 
+	sp = evalSpan.Child("compile")
 	t0 = time.Now()
 	bm := bdd.New(g.Netlist.NumInputs(), bdd.WithNodeLimit(p.opts.NodeLimit))
-	root, err := compile.Netlist(bm, g.Netlist, plan.BinaryLevels)
+	broot, err := compile.Netlist(bm, g.Netlist, plan.BinaryLevels)
+	res.Phases.Compile = time.Since(t0)
+	sp.End()
+	res.Stats.BDD = bm.Stats()
 	if err != nil {
 		res.ROBDDPeak = bm.PeakLive()
+		res.Stats.publish(rec)
+		publishResult(rec, res)
 		return res, fmt.Errorf("yield: compiling coded ROBDD: %w", err)
 	}
-	res.Phases.Compile = time.Since(t0)
-	res.CodedROBDDSize = bm.Size(root)
+	res.CodedROBDDSize = bm.Size(broot)
 	res.ROBDDPeak = bm.PeakLive()
 
 	groupOf, bitOf := groupMeta(g)
@@ -317,25 +360,41 @@ func Evaluate(sys *System, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	sp = evalSpan.Child("convert")
 	t0 = time.Now()
 	mm, err := mdd.New(spec.Domains, mdd.WithNodeLimit(p.opts.NodeLimit))
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
-	mroot, err := convert.ToMDD(bm, root, mm, spec)
+	mroot, err := convert.ToMDDWithStats(bm, broot, mm, spec, &res.Stats.Convert)
+	res.Phases.Convert = time.Since(t0)
+	sp.End()
+	res.Stats.MDD = mm.BuildStats()
 	if err != nil {
+		res.Stats.publish(rec)
+		publishResult(rec, res)
 		return res, fmt.Errorf("yield: converting to ROMDD: %w", err)
 	}
-	res.Phases.Convert = time.Since(t0)
-	res.ROMDDSize = mm.Size(mroot)
+	ms := mm.ComputeStats(mroot)
+	res.ROMDDSize = ms.Nodes
+	res.Stats.ROMDDPerLevel = ms.PerLevel
+	res.Stats.ROMDDMaxWidth = ms.MaxWidth
+	if res.ROMDDSize > 0 {
+		res.Stats.ROBDDToROMDDRatio = float64(res.CodedROBDDSize) / float64(res.ROMDDSize)
+	}
 
+	sp = evalSpan.Child("eval")
 	t0 = time.Now()
 	pg1, err := mm.Prob(mroot, p.probTable(plan.GroupSeq))
+	res.Phases.Eval = time.Since(t0)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	res.Phases.Eval = time.Since(t0)
 	res.Yield = 1 - pg1
+	res.Stats.publish(rec)
+	publishResult(rec, res)
 	return res, nil
 }
 
@@ -344,27 +403,36 @@ func Evaluate(sys *System, opts Options) (*Result, error) {
 // ROBDD. It exists as an internal validation route and as the
 // conversion-ablation baseline.
 func EvaluateOnCodedROBDD(sys *System, opts Options) (*Result, error) {
+	t0 := time.Now()
 	p, err := prepare(sys, opts)
+	prepDur := time.Since(t0)
 	if err != nil {
 		return nil, err
 	}
+	t0 = time.Now()
 	g, err := encode.BuildG(sys.FaultTree, p.m)
+	encDur := time.Since(t0)
 	if err != nil {
 		return nil, err
 	}
 	res := p.baseResult(g)
+	res.Phases.Prepare = prepDur
+	res.Phases.Encode = encDur
+	t0 = time.Now()
 	plan, err := order.Assemble(g.Netlist, g.Groups, p.opts.MVOrder, p.opts.BitOrder)
+	res.Phases.Order = time.Since(t0)
 	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
+	t0 = time.Now()
 	bm := bdd.New(g.Netlist.NumInputs(), bdd.WithNodeLimit(p.opts.NodeLimit))
 	root, err := compile.Netlist(bm, g.Netlist, plan.BinaryLevels)
+	res.Phases.Compile = time.Since(t0)
+	res.Stats.BDD = bm.Stats()
 	if err != nil {
 		res.ROBDDPeak = bm.PeakLive()
 		return res, fmt.Errorf("yield: compiling coded ROBDD: %w", err)
 	}
-	res.Phases.Compile = time.Since(t0)
 	res.CodedROBDDSize = bm.Size(root)
 	res.ROBDDPeak = bm.PeakLive()
 	groupOf, bitOf := groupMeta(g)
@@ -389,28 +457,37 @@ func EvaluateOnCodedROBDD(sys *System, opts Options) (*Result, error) {
 // differs is the cost of construction — the quantity the ablation
 // benchmark measures.
 func EvaluateDirectMDD(sys *System, opts Options) (*Result, error) {
+	t0 := time.Now()
 	p, err := prepare(sys, opts)
+	prepDur := time.Since(t0)
 	if err != nil {
 		return nil, err
 	}
+	t0 = time.Now()
 	g, err := encode.BuildG(sys.FaultTree, p.m)
+	encDur := time.Since(t0)
 	if err != nil {
 		return nil, err
 	}
 	res := p.baseResult(g)
+	res.Phases.Prepare = prepDur
+	res.Phases.Encode = encDur
 	// The heuristic orderings are defined on the binary netlist, so
 	// compute the plan exactly as the main route does and reuse its
 	// group sequence.
+	t0 = time.Now()
 	plan, err := order.Assemble(g.Netlist, g.Groups, p.opts.MVOrder, p.opts.BitOrder)
+	res.Phases.Order = time.Since(t0)
 	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
+	t0 = time.Now()
 	mm, mroot, err := buildDirectMDD(sys.FaultTree, p.m, len(sys.Components), plan.GroupSeq, p.opts.NodeLimit)
 	if err != nil {
 		return res, fmt.Errorf("yield: direct ROMDD construction: %w", err)
 	}
 	res.Phases.Convert = time.Since(t0)
+	res.Stats.MDD = mm.BuildStats()
 	res.ROMDDSize = mm.Size(mroot)
 	t0 = time.Now()
 	pg1, err := mm.Prob(mroot, p.probTable(plan.GroupSeq))

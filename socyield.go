@@ -37,10 +37,14 @@
 package socyield
 
 import (
+	"io"
+	"time"
+
 	"socyield/internal/benchmarks"
 	"socyield/internal/defects"
 	"socyield/internal/logic"
 	"socyield/internal/montecarlo"
+	"socyield/internal/obs"
 	"socyield/internal/order"
 	"socyield/internal/reliability"
 	"socyield/internal/yield"
@@ -72,6 +76,37 @@ var ErrNodeLimit = yield.ErrNodeLimit
 
 // Evaluate runs the combinatorial yield method end to end.
 func Evaluate(sys *System, opts Options) (*Result, error) { return yield.Evaluate(sys, opts) }
+
+// Metrics is a registry of counters, gauges, histograms and phase
+// spans. Set Options.Recorder (or the sweep / Monte-Carlo equivalents)
+// to one instance to instrument a run; its Snapshot and WriteJSON
+// methods export everything collected. A nil *Metrics is valid
+// everywhere and records nothing.
+type Metrics = obs.Registry
+
+// MetricsSnapshot is a point-in-time JSON-marshalable copy of a
+// Metrics registry.
+type MetricsSnapshot = obs.Snapshot
+
+// EngineStats aggregates the decision-diagram engine counters of one
+// evaluation (ROBDD apply cache and unique table, ROMDD construction,
+// conversion work). Every Result carries one in Result.Stats.
+type EngineStats = yield.EngineStats
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// ProgressMeter periodically prints completion lines ("done/total,
+// rate, ETA") for long sweeps or simulations. A nil *ProgressMeter is
+// valid everywhere and prints nothing.
+type ProgressMeter = obs.Progress
+
+// NewProgressMeter starts a progress meter writing to w every interval
+// (≤ 0 means 1s); total ≤ 0 means the total is unknown. Call Close
+// when the work is done.
+func NewProgressMeter(w io.Writer, label string, total int, interval time.Duration) *ProgressMeter {
+	return obs.NewProgress(w, label, total, interval)
+}
 
 // BruteForce computes the same estimate exactly by inclusion–exclusion
 // (exponential in the component count; C ≤ 20).
