@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"socyield/internal/experiments"
+)
+
+// updateGolden rewrites the committed golden tables from the current
+// code:  go test ./cmd/experiments -run Golden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden table files under results/golden")
+
+// goldenCases is the fixed row subset the golden tables are generated
+// for — small enough that all four tables regenerate in seconds on one
+// core, while still covering both benchmark families.
+const goldenCases = "MS2:1,ESEN4x1:1"
+
+// goldenDir is the committed location of the golden tables, relative
+// to this package's directory.
+var goldenDir = filepath.Join("..", "..", "results", "golden")
+
+// goldenTables enumerates the tables under regression guard. Columns
+// named in skip hold wall-clock measurements and are excluded from the
+// comparison; everything else must match (numerically within
+// tolerance, exactly otherwise).
+var goldenTables = []struct {
+	name string
+	file string
+	skip []string
+	gen  func(w io.Writer, cases []experiments.Case, cfg experiments.Config) error
+}{
+	{
+		name: "table1",
+		file: "table1.txt",
+		gen: func(w io.Writer, _ []experiments.Case, _ experiments.Config) error {
+			return printTable1(w)
+		},
+	},
+	{name: "table2", file: "table2.txt", gen: printTable2},
+	{name: "table3", file: "table3.txt", gen: printTable3},
+	{name: "table4", file: "table4.txt", skip: []string{"cpu"}, gen: printTable4},
+}
+
+// TestGoldenTables regenerates Tables 1–4 for the golden row subset
+// and diffs them against the committed outputs in results/golden: a
+// change in any reported size, yield or truncation point fails the
+// default `go test ./...`. Timing columns are skipped; numeric cells
+// compare within tolerance so formatting-preserving float jitter (if
+// any platform produced it) does not flag.
+func TestGoldenTables(t *testing.T) {
+	cases, err := parseCases(goldenCases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := experiments.Config{} // calibrated reproduction defaults
+	for _, tbl := range goldenTables {
+		t.Run(tbl.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tbl.gen(&buf, cases, cfg); err != nil {
+				t.Fatalf("generating %s: %v", tbl.name, err)
+			}
+			path := filepath.Join(goldenDir, tbl.file)
+			if *updateGolden {
+				if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update-golden): %v", err)
+			}
+			compareTables(t, tbl.name, string(want), buf.String(), tbl.skip)
+		})
+	}
+}
+
+// columnSplit separates the cells of one FormatTable row. Cells may
+// contain single spaces ("MS2, λ'=1"); columns are padded with at
+// least two.
+var columnSplit = regexp.MustCompile(`\s{2,}`)
+
+func splitRow(line string) []string {
+	return columnSplit.Split(strings.TrimRight(line, " \t"), -1)
+}
+
+// compareTables diffs two rendered tables cell by cell. Columns whose
+// header is listed in skip are ignored; cells that parse as numbers on
+// both sides compare within a relative tolerance of 1e-6 (absolute
+// 1e-9); all other cells must match exactly.
+func compareTables(t *testing.T, name, want, got string, skip []string) {
+	t.Helper()
+	wantLines := strings.Split(strings.TrimRight(want, "\n"), "\n")
+	gotLines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(wantLines) != len(gotLines) {
+		t.Fatalf("%s: %d lines, golden has %d\n-- got --\n%s\n-- want --\n%s",
+			name, len(gotLines), len(wantLines), got, want)
+	}
+	skipSet := make(map[string]bool, len(skip))
+	for _, s := range skip {
+		skipSet[s] = true
+	}
+	var skipIdx map[int]bool
+	for li := range wantLines {
+		wCells, gCells := splitRow(wantLines[li]), splitRow(gotLines[li])
+		if li == 0 {
+			skipIdx = make(map[int]bool)
+			for i, h := range wCells {
+				if skipSet[h] {
+					skipIdx[i] = true
+				}
+			}
+		}
+		if len(wCells) != len(gCells) {
+			t.Errorf("%s line %d: %d cells, golden has %d\ngot:  %q\nwant: %q",
+				name, li+1, len(gCells), len(wCells), gotLines[li], wantLines[li])
+			continue
+		}
+		for i := range wCells {
+			if skipIdx[i] {
+				continue
+			}
+			if cellsEqual(wCells[i], gCells[i]) {
+				continue
+			}
+			t.Errorf("%s line %d, column %d (%s): got %q, golden %q",
+				name, li+1, i+1, headerOf(wantLines[0], i), gCells[i], wCells[i])
+		}
+	}
+}
+
+func headerOf(headerLine string, i int) string {
+	cells := splitRow(headerLine)
+	if i < len(cells) {
+		return cells[i]
+	}
+	return fmt.Sprintf("#%d", i)
+}
+
+// ruleLine matches FormatTable's horizontal separator, whose length
+// tracks the (skipped, run-dependent) timing column widths.
+var ruleLine = regexp.MustCompile(`^-+$`)
+
+func cellsEqual(want, got string) bool {
+	if want == got {
+		return true
+	}
+	if ruleLine.MatchString(want) && ruleLine.MatchString(got) {
+		return true
+	}
+	wv, werr := strconv.ParseFloat(want, 64)
+	gv, gerr := strconv.ParseFloat(got, 64)
+	if werr != nil || gerr != nil {
+		return false
+	}
+	diff := math.Abs(wv - gv)
+	return diff <= 1e-9 || diff <= 1e-6*math.Max(math.Abs(wv), math.Abs(gv))
+}

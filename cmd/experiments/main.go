@@ -27,15 +27,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
-	"socyield/internal/benchmarks"
+	"socyield/internal/cliutil"
 	"socyield/internal/defects"
 	"socyield/internal/experiments"
 	"socyield/internal/obs"
@@ -68,13 +67,7 @@ func main() {
 		rec = obs.NewRegistry()
 	}
 	if *pprofAddr != "" {
-		rec.Publish("socyield")
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments: pprof server:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "pprof/expvar listening on http://%s/debug/pprof/ and /debug/vars\n", *pprofAddr)
+		cliutil.ServeDebug("experiments", *pprofAddr, rec)
 	}
 	cfg := experiments.Config{Alpha: *alpha, Epsilon: *epsilon, NodeLimit: *nodeLimit, Workers: *workers, Recorder: rec}
 	cases := experiments.QuickCases()
@@ -101,22 +94,22 @@ func main() {
 		fmt.Printf("(%s)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	if *table == 1 || *all {
-		run("Table 1: benchmark inventory", func() error { return printTable1() })
+		run("Table 1: benchmark inventory", func() error { return printTable1(os.Stdout) })
 	}
 	if *table == 2 || *all {
-		run("Table 2: ROMDD size vs MV-variable ordering", func() error { return printTable2(cases, cfg) })
+		run("Table 2: ROMDD size vs MV-variable ordering", func() error { return printTable2(os.Stdout, cases, cfg) })
 	}
 	if *table == 3 || *all {
-		run("Table 3: coded-ROBDD size vs bit-group ordering", func() error { return printTable3(cases, cfg) })
+		run("Table 3: coded-ROBDD size vs bit-group ordering", func() error { return printTable3(os.Stdout, cases, cfg) })
 	}
 	if *table == 4 || *all {
-		run("Table 4: method performance (w + ml)", func() error { return printTable4(cases, cfg) })
+		run("Table 4: method performance (w + ml)", func() error { return printTable4(os.Stdout, cases, cfg) })
 	}
 	if *ablation == "direct-mdd" || *all {
-		run("Ablation: coded-ROBDD route vs direct MDD apply", func() error { return printAblation(cases, cfg) })
+		run("Ablation: coded-ROBDD route vs direct MDD apply", func() error { return printAblation(os.Stdout, cases, cfg) })
 	}
 	if *baseline == "mc" || *all {
-		run("Baseline: Monte-Carlo simulation", func() error { return printBaseline(cases, *samples, cfg) })
+		run("Baseline: Monte-Carlo simulation", func() error { return printBaseline(os.Stdout, cases, *samples, cfg) })
 	}
 	if *benchJSON != "" {
 		run("Benchmark: batch sweep serial vs parallel", func() error {
@@ -128,28 +121,11 @@ func main() {
 		os.Exit(2)
 	}
 	if *metricsJS != "" {
-		if err := writeMetrics(rec, *metricsJS); err != nil {
+		if err := cliutil.WriteMetrics(rec, *metricsJS); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
 	}
-}
-
-// writeMetrics dumps the registry snapshot as JSON to path ("-" =
-// stdout).
-func writeMetrics(rec *obs.Registry, path string) error {
-	if path == "-" {
-		return rec.WriteJSON(os.Stdout)
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := rec.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 // sweepBench is the JSON record of one -bench-json run: the one-time
@@ -189,16 +165,9 @@ func runSweepBench(path, caseSpec string, points, maxWorkers int, progress bool,
 		return fmt.Errorf("bad -bench-case %q: %v", caseSpec, err)
 	}
 	cs := parsed[0]
-	var sys *yield.System
-	for _, e := range benchmarks.PaperBenchmarks() {
-		if e.Name == cs.Benchmark {
-			if sys, err = e.Build(); err != nil {
-				return err
-			}
-		}
-	}
-	if sys == nil {
-		return fmt.Errorf("unknown benchmark %q", cs.Benchmark)
+	sys, err := cliutil.LoadSystem(cs.Benchmark, "")
+	if err != nil {
+		return err
 	}
 	alpha, eps := cfg.Alpha, cfg.Epsilon
 	if alpha == 0 {
@@ -305,7 +274,7 @@ func parseCases(s string) ([]experiments.Case, error) {
 	return out, nil
 }
 
-func printTable1() error {
+func printTable1(w io.Writer) error {
 	rows, err := experiments.Table1()
 	if err != nil {
 		return err
@@ -318,12 +287,12 @@ func printTable1() error {
 			strconv.Itoa(r.Gates), strconv.Itoa(r.PaperGates),
 		})
 	}
-	fmt.Print(experiments.FormatTable(
+	fmt.Fprint(w, experiments.FormatTable(
 		[]string{"benchmark", "C", "C(paper)", "gates", "gates(paper)"}, out))
 	return nil
 }
 
-func printTable2(cases []experiments.Case, cfg experiments.Config) error {
+func printTable2(w io.Writer, cases []experiments.Case, cfg experiments.Config) error {
 	rows, err := experiments.Table2(cases, cfg)
 	if err != nil {
 		return err
@@ -340,11 +309,11 @@ func printTable2(cases []experiments.Case, cfg experiments.Config) error {
 		}
 		out = append(out, line)
 	}
-	fmt.Print(experiments.FormatTable(header, out))
+	fmt.Fprint(w, experiments.FormatTable(header, out))
 	return nil
 }
 
-func printTable3(cases []experiments.Case, cfg experiments.Config) error {
+func printTable3(w io.Writer, cases []experiments.Case, cfg experiments.Config) error {
 	rows, err := experiments.Table3(cases, cfg)
 	if err != nil {
 		return err
@@ -361,11 +330,11 @@ func printTable3(cases []experiments.Case, cfg experiments.Config) error {
 		}
 		out = append(out, line)
 	}
-	fmt.Print(experiments.FormatTable(header, out))
+	fmt.Fprint(w, experiments.FormatTable(header, out))
 	return nil
 }
 
-func printTable4(cases []experiments.Case, cfg experiments.Config) error {
+func printTable4(w io.Writer, cases []experiments.Case, cfg experiments.Config) error {
 	rows, err := experiments.Table4(cases, cfg)
 	if err != nil {
 		return err
@@ -390,11 +359,11 @@ func printTable4(cases []experiments.Case, cfg experiments.Config) error {
 		}
 		out = append(out, line)
 	}
-	fmt.Print(experiments.FormatTable(header, out))
+	fmt.Fprint(w, experiments.FormatTable(header, out))
 	return nil
 }
 
-func printAblation(cases []experiments.Case, cfg experiments.Config) error {
+func printAblation(w io.Writer, cases []experiments.Case, cfg experiments.Config) error {
 	rows, err := experiments.AblationDirectMDD(cases, cfg)
 	if err != nil {
 		return err
@@ -414,12 +383,12 @@ func printAblation(cases []experiments.Case, cfg experiments.Config) error {
 			agree,
 		})
 	}
-	fmt.Print(experiments.FormatTable(
+	fmt.Fprint(w, experiments.FormatTable(
 		[]string{"case", "coded-robdd route", "direct-mdd route", "romdd", "size/yield agree"}, out))
 	return nil
 }
 
-func printBaseline(cases []experiments.Case, samples int, cfg experiments.Config) error {
+func printBaseline(w io.Writer, cases []experiments.Case, samples int, cfg experiments.Config) error {
 	rows, err := experiments.BaselineMonteCarlo(cases, samples, cfg)
 	if err != nil {
 		return err
@@ -435,7 +404,7 @@ func printBaseline(cases []experiments.Case, samples int, cfg experiments.Config
 			fmt.Sprintf("%v", r.WithinThree),
 		})
 	}
-	fmt.Print(experiments.FormatTable(
+	fmt.Fprint(w, experiments.FormatTable(
 		[]string{"case", "combinatorial", "time", "monte-carlo (95% CI)", "time", "consistent"}, out))
 	return nil
 }

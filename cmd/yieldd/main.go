@@ -1,0 +1,93 @@
+// Command yieldd serves the combinatorial yield method over HTTP/JSON.
+//
+// Clients POST a system — an ftdsl description or a named benchmark —
+// together with a defect model and receive the yield, its error bound
+// and optionally per-component sensitivities. Compiled models (the
+// expensive ROMDD builds) are kept in a keyed LRU cache with
+// single-flight deduplication, so repeated and concurrent requests for
+// the same model cost one linear traversal each.
+//
+//	yieldd -addr :8344
+//
+//	curl -s localhost:8344/v1/evaluate -d '{
+//	  "bench": "MS2",
+//	  "defects": {"lambda": 2, "alpha": 0.25},
+//	  "epsilon": 1e-4
+//	}'
+//
+//	curl -s localhost:8344/v1/sweep -d '{
+//	  "bench": "ESEN4x2",
+//	  "defects": {"alpha": 2},
+//	  "lambdas": [0.5, 1, 2, 4]
+//	}'
+//
+// GET /healthz is a liveness probe; GET /metrics returns the live
+// request/cache/evaluation counters as JSON; GET /debug/vars serves
+// the same registry through expvar. SIGINT/SIGTERM drain in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"socyield/internal/obs"
+	"socyield/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8344", "listen address")
+		cacheSize = flag.Int("cache", 32, "compiled models kept in the LRU cache")
+		nodeLimit = flag.Int("nodelimit", 0, "decision-diagram node budget per model (0 = default 8M, <0 = unlimited)")
+		maxConc   = flag.Int("max-concurrent", 0, "concurrent evaluations (0 = 2×GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-request timeout")
+		sweepWork = flag.Int("sweep-workers", 0, "worker cap for /v1/sweep (0 = all cores)")
+		gracePer  = flag.Duration("grace", 10*time.Second, "shutdown drain period")
+		logJSON   = flag.Bool("log-json", false, "log one JSON object per request instead of text")
+		quiet     = flag.Bool("quiet", false, "disable request logging")
+	)
+	flag.Parse()
+
+	var handler slog.Handler
+	switch {
+	case *quiet:
+		handler = nil
+	case *logJSON:
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	var logger *slog.Logger
+	if handler != nil {
+		logger = slog.New(handler)
+	}
+
+	metrics := obs.NewRegistry()
+	metrics.Publish("socyield") // live snapshot on /debug/vars
+
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		CacheEntries:   *cacheSize,
+		NodeLimit:      *nodeLimit,
+		MaxConcurrent:  *maxConc,
+		RequestTimeout: *timeout,
+		SweepWorkers:   *sweepWork,
+		Metrics:        metrics,
+		Logger:         logger,
+		ShutdownGrace:  *gracePer,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.ListenAndServe(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "yieldd:", err)
+		os.Exit(1)
+	}
+}

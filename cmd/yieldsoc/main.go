@@ -27,17 +27,12 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"sort"
-	"strconv"
-	"strings"
 	"time"
 
-	"socyield/internal/benchmarks"
+	"socyield/internal/cliutil"
 	"socyield/internal/defects"
-	"socyield/internal/ftdsl"
 	"socyield/internal/montecarlo"
 	"socyield/internal/obs"
 	"socyield/internal/order"
@@ -83,17 +78,10 @@ func run() error {
 		rec = obs.NewRegistry()
 	}
 	if *pprofAddr != "" {
-		rec.Publish("socyield")
-		srv := &http.Server{Addr: *pprofAddr}
-		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "yieldsoc: pprof server:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "pprof/expvar listening on http://%s/debug/pprof/ and /debug/vars\n", *pprofAddr)
+		cliutil.ServeDebug("yieldsoc", *pprofAddr, rec)
 	}
 
-	sys, err := loadSystem(*benchName, *file)
+	sys, err := cliutil.LoadSystem(*benchName, *file)
 	if err != nil {
 		return err
 	}
@@ -179,7 +167,7 @@ func run() error {
 		}
 	}
 	if *sweep != "" {
-		lambdas, err := parseTimes(*sweep)
+		lambdas, err := cliutil.ParseFloats(*sweep)
 		if err != nil {
 			return err
 		}
@@ -238,7 +226,7 @@ func run() error {
 		fmt.Printf("monte-carlo %.6f ± %.6f (95%% CI, %d samples)\n", mc.Yield, mc.CI(1.96), mc.Samples)
 	}
 	if *relTimes != "" {
-		times, err := parseTimes(*relTimes)
+		times, err := cliutil.ParseFloats(*relTimes)
 		if err != nil {
 			return err
 		}
@@ -259,83 +247,9 @@ func run() error {
 		}
 	}
 	if *metricsJS != "" {
-		if err := writeMetrics(rec, *metricsJS); err != nil {
+		if err := cliutil.WriteMetrics(rec, *metricsJS); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-// writeMetrics dumps the registry snapshot as JSON to path ("-" =
-// stdout).
-func writeMetrics(rec *obs.Registry, path string) error {
-	if path == "-" {
-		return rec.WriteJSON(os.Stdout)
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := rec.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func loadSystem(bench, file string) (*yield.System, error) {
-	switch {
-	case bench != "" && file != "":
-		return nil, fmt.Errorf("give either -bench or -f, not both")
-	case bench != "":
-		for _, e := range benchmarks.PaperBenchmarks() {
-			if e.Name == bench {
-				return e.Build()
-			}
-		}
-		// Parse generalized MS<n> / ESEN<n>x<m> names beyond Table 1.
-		if n, ok := parseSuffix(bench, "MS"); ok {
-			return benchmarks.MS(n)
-		}
-		if rest, ok := strings.CutPrefix(bench, "ESEN"); ok {
-			parts := strings.Split(rest, "x")
-			if len(parts) == 2 {
-				n, err1 := strconv.Atoi(parts[0])
-				m, err2 := strconv.Atoi(parts[1])
-				if err1 == nil && err2 == nil {
-					return benchmarks.ESEN(n, m)
-				}
-			}
-		}
-		return nil, fmt.Errorf("unknown benchmark %q", bench)
-	case file != "":
-		src, err := os.ReadFile(file)
-		if err != nil {
-			return nil, err
-		}
-		return ftdsl.Parse(string(src))
-	default:
-		return nil, fmt.Errorf("give -bench <name> or -f <file> (see -h)")
-	}
-}
-
-func parseSuffix(s, prefix string) (int, bool) {
-	rest, ok := strings.CutPrefix(s, prefix)
-	if !ok {
-		return 0, false
-	}
-	n, err := strconv.Atoi(rest)
-	return n, err == nil
-}
-
-func parseTimes(s string) ([]float64, error) {
-	var out []float64
-	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad time %q: %v", f, err)
-		}
-		out = append(out, v)
-	}
-	return out, nil
 }

@@ -14,6 +14,8 @@ package benchmarks
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
+	"strings"
 
 	"socyield/internal/logic"
 	"socyield/internal/yield"
@@ -325,6 +327,33 @@ func normalize(comps []yield.Component, weights []float64, pl float64) {
 type Entry struct {
 	Name  string
 	Build func() (*yield.System, error)
+}
+
+// ByName builds the benchmark with the given name. The eleven Table 1
+// names are recognized first; beyond them, generalized "MS<n>" and
+// "ESEN<n>x<m>" names instantiate the generators at any size, so the
+// CLIs and the evaluation server accept the whole family.
+func ByName(name string) (*yield.System, error) {
+	for _, e := range PaperBenchmarks() {
+		if e.Name == name {
+			return e.Build()
+		}
+	}
+	if rest, ok := strings.CutPrefix(name, "MS"); ok {
+		if n, err := strconv.Atoi(rest); err == nil {
+			return MS(n)
+		}
+	}
+	if rest, ok := strings.CutPrefix(name, "ESEN"); ok {
+		if ns, ms, found := strings.Cut(rest, "x"); found {
+			n, err1 := strconv.Atoi(ns)
+			m, err2 := strconv.Atoi(ms)
+			if err1 == nil && err2 == nil {
+				return ESEN(n, m)
+			}
+		}
+	}
+	return nil, fmt.Errorf("benchmarks: unknown benchmark %q (want MS<n> or ESEN<n>x<m>)", name)
 }
 
 // PaperBenchmarks returns the eleven benchmark systems of Table 1, in

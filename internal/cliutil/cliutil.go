@@ -1,0 +1,85 @@
+// Package cliutil holds the flag plumbing shared by the socyield
+// command-line tools (yieldsoc, experiments, yieldd): loading a system
+// from a benchmark name or an ftdsl file, parsing comma-separated
+// float lists, dumping a metrics registry, and serving the pprof +
+// expvar debug endpoint.
+package cliutil
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // register /debug/pprof on DefaultServeMux
+	"os"
+	"strconv"
+	"strings"
+
+	"socyield/internal/benchmarks"
+	"socyield/internal/ftdsl"
+	"socyield/internal/obs"
+	"socyield/internal/yield"
+)
+
+// LoadSystem resolves a system from either a benchmark name (MS<n>,
+// ESEN<n>x<m>) or an ftdsl description file. Exactly one of the two
+// must be given.
+func LoadSystem(bench, file string) (*yield.System, error) {
+	switch {
+	case bench != "" && file != "":
+		return nil, fmt.Errorf("give either -bench or -f, not both")
+	case bench != "":
+		return benchmarks.ByName(bench)
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return ftdsl.Parse(string(src))
+	default:
+		return nil, fmt.Errorf("give -bench <name> or -f <file> (see -h)")
+	}
+}
+
+// ParseFloats parses a comma-separated list of floats ("0.5, 1, 2").
+func ParseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// WriteMetrics dumps the registry snapshot as JSON to path ("-" =
+// stdout).
+func WriteMetrics(rec *obs.Registry, path string) error {
+	if path == "-" {
+		return rec.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ServeDebug publishes rec under the expvar name "socyield" and starts
+// a background HTTP server on addr exposing /debug/pprof and
+// /debug/vars for the life of the process. Startup errors are reported
+// to stderr (prefixed with tool), not returned: the debug endpoint is
+// an observer, never a reason to fail the run.
+func ServeDebug(tool, addr string, rec *obs.Registry) {
+	rec.Publish("socyield")
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "%s: pprof server: %v\n", tool, err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "pprof/expvar listening on http://%s/debug/pprof/ and /debug/vars\n", addr)
+}

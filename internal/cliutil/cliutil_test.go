@@ -1,0 +1,58 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadSystem(t *testing.T) {
+	if _, err := LoadSystem("", ""); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := LoadSystem("MS2", "x.ft"); err == nil {
+		t.Error("both sources accepted")
+	}
+	sys, err := LoadSystem("MS2", "")
+	if err != nil || sys.Name != "MS2" {
+		t.Errorf("MS2: %v, %v", sys, err)
+	}
+	// Generalized names beyond Table 1.
+	sys, err = LoadSystem("MS3", "")
+	if err != nil || len(sys.Components) != 24 {
+		t.Errorf("MS3: %v, %v", sys, err)
+	}
+	sys, err = LoadSystem("ESEN16x2", "")
+	if err != nil || sys.Name != "ESEN16x2" {
+		t.Errorf("ESEN16x2: %v", err)
+	}
+	if _, err := LoadSystem("ESEN16", ""); err == nil {
+		t.Error("malformed ESEN name accepted")
+	}
+	if _, err := LoadSystem("FOO9", ""); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := LoadSystem("", "/nonexistent.ft"); err == nil {
+		t.Error("missing file accepted")
+	}
+
+	path := filepath.Join(t.TempDir(), "tmr.ft")
+	src := "system tmr\ncomponent m1 0.2\ncomponent m2 0.15\ncomponent m3 0.15\nfails = atleast(2, m1, m2, m3)\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys, err = LoadSystem("", path)
+	if err != nil || sys.Name != "tmr" || len(sys.Components) != 3 {
+		t.Errorf("ftdsl file: %v, %v", sys, err)
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	ts, err := ParseFloats("0, 1.5,3e2")
+	if err != nil || len(ts) != 3 || ts[1] != 1.5 || ts[2] != 300 {
+		t.Errorf("ParseFloats: %v, %v", ts, err)
+	}
+	if _, err := ParseFloats("1,x"); err == nil {
+		t.Error("bad value accepted")
+	}
+}

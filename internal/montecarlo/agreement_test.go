@@ -1,0 +1,60 @@
+package montecarlo
+
+import (
+	"testing"
+
+	"socyield/internal/benchmarks"
+	"socyield/internal/defects"
+	"socyield/internal/yield"
+)
+
+// TestCombinatorialWithinMCInterval cross-validates the two estimation
+// routes on the paper's benchmark families: the combinatorial interval
+// [Y_M, Y_M + bound] must overlap the seeded Monte-Carlo estimate's
+// 3σ confidence interval. With 80k samples the 3σ half-width is
+// ≈ 3·√(p(1−p)/80000) ≲ 0.0053, tight enough to catch a real
+// disagreement while the fixed seed keeps the test deterministic
+// (false-failure probability under an honest 3σ model ≈ 0.3%, and
+// zero in practice because the draw is pinned).
+func TestCombinatorialWithinMCInterval(t *testing.T) {
+	samples := 80000
+	if testing.Short() {
+		samples = 20000
+	}
+	cases := []struct {
+		name  string
+		build func() (*yield.System, error)
+	}{
+		{"MS3", func() (*yield.System, error) { return benchmarks.MS(3) }},
+		{"ESEN4x2", func() (*yield.System, error) { return benchmarks.ESEN(4, 2) }},
+	}
+	dist, err := defects.NewNegativeBinomial(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		sys, err := tc.build()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		comb, err := yield.Evaluate(sys, yield.Options{Defects: dist, Epsilon: 1e-4})
+		if err != nil {
+			t.Fatalf("%s: Evaluate: %v", tc.name, err)
+		}
+		mc, err := Estimate(sys, Options{Defects: dist, Samples: samples, Seed: 20030622})
+		if err != nil {
+			t.Fatalf("%s: Estimate: %v", tc.name, err)
+		}
+		lo, hi := mc.Yield-mc.CI(3), mc.Yield+mc.CI(3)
+		// The combinatorial estimate is pessimistic: the true yield is
+		// in [Yield, Yield+ErrorBound]. Overlap check against the MC
+		// 3σ interval.
+		if comb.Yield+comb.ErrorBound < lo || comb.Yield > hi {
+			t.Errorf("%s: combinatorial [%.6f, %.6f] outside MC 3σ interval [%.6f, %.6f] (mc=%.6f ± %.6f, %d samples)",
+				tc.name, comb.Yield, comb.Yield+comb.ErrorBound, lo, hi, mc.Yield, mc.CI(3), samples)
+		}
+		if mc.StdErr <= 0 {
+			t.Errorf("%s: non-positive MC standard error %v", tc.name, mc.StdErr)
+		}
+	}
+}

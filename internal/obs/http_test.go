@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests").Add(3)
+	r.Gauge("inflight").Set(1)
+
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("content type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["requests"] != 3 || snap.Gauges["inflight"] != 1 {
+		t.Errorf("snapshot %+v", snap)
+	}
+
+	post, err := ts.Client().Post(ts.URL, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, post.Body)
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Errorf("POST status %d, want 405", post.StatusCode)
+	}
+
+	// A nil registry serves the empty snapshot rather than crashing.
+	var nilReg *Registry
+	rec := httptest.NewRecorder()
+	nilReg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 200 {
+		t.Errorf("nil registry: status %d", rec.Code)
+	}
+}

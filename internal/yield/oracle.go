@@ -1,0 +1,157 @@
+package yield
+
+import (
+	"fmt"
+
+	"socyield/internal/encode"
+)
+
+// Bounds on the exact-enumeration oracle: the number of components and
+// the total number of (w, v_1..v_w) assignments it will enumerate.
+const (
+	maxOracleComponents  = 12
+	maxOracleAssignments = 1 << 24
+)
+
+// oracleBudget returns the number of assignments ExactYield will
+// visit: Σ_{w=0..m} c^w (the v_l beyond w are marginalized — they sum
+// to one — so enumerating them would only rescale each term by 1).
+func oracleBudget(c, m int) (int, bool) {
+	total := 0
+	pw := 1
+	for w := 0; w <= m; w++ {
+		total += pw
+		if total > maxOracleAssignments {
+			return total, false
+		}
+		if pw > maxOracleAssignments/c {
+			// c^(w+1) alone would blow the budget on the next round.
+			if w < m {
+				return maxOracleAssignments + 1, false
+			}
+			break
+		}
+		pw *= c
+	}
+	return total, true
+}
+
+// ExactYield computes Y_M by direct summation over all assignments of
+// the generalized function G(w, v_1..v_M) of Theorem 1 — no decision
+// diagrams, no inclusion–exclusion:
+//
+//	Y_M = Σ_{w=0}^{M} Q'_w Σ_{(v_1..v_w)} (Π_{l≤w} P'_{v_l}) · [F(x(v)) = 0]
+//
+// where x(v)_i = 1 iff some lethal defect l ≤ w hit component i, and
+// the saturated value w = M+1 (probability = the tail mass) always has
+// G = 1. The v_l with l > w are marginalized: G does not depend on
+// them, so their enumeration would multiply each term by Σ P' = 1.
+//
+// Every visited assignment is additionally checked against the
+// synthesized binary netlist of G (encode.BuildG + DecodeAssignment),
+// so a run of ExactYield is also an exhaustive differential test of
+// the encoding itself; a disagreement is reported as an error rather
+// than silently folded into the sum.
+//
+// The enumeration is exponential — (C^(M+1)−1)/(C−1) netlist
+// evaluations — and is restricted to C ≤ 12 components within an
+// assignment budget of 2^24. It exists as the exact oracle the ROMDD
+// pipeline is differentially tested against.
+func ExactYield(sys *System, opts Options) (*Result, error) {
+	p, err := prepare(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	c := len(sys.Components)
+	if c > maxOracleComponents {
+		return nil, fmt.Errorf("yield: exact oracle limited to %d components, system has %d", maxOracleComponents, c)
+	}
+	if n, ok := oracleBudget(c, p.m); !ok {
+		return nil, fmt.Errorf("yield: exact oracle budget exceeded: > %d assignments for C=%d, M=%d (have %d)", maxOracleAssignments, c, p.m, n)
+	}
+	g, err := encode.BuildG(sys.FaultTree, p.m)
+	if err != nil {
+		return nil, err
+	}
+	res := p.baseResult(g)
+
+	f := sys.FaultTree
+	var fScratch, gScratch []bool
+	failed := make([]bool, c)
+	hits := make([]int, c) // defects per component, to undo sharing
+	v := make([]int, p.m)  // v_1..v_w as 0-based component ordinals
+	mv := make([]int, 1+p.m)
+
+	// Kahan-compensated accumulation: the enumeration can sum millions
+	// of terms, and the oracle's value is the reference a 1e-12
+	// differential tolerance is measured against.
+	yield, comp := 0.0, 0.0
+	add := func(term float64) {
+		y := term - comp
+		t := yield + y
+		comp = (t - yield) - y
+		yield = t
+	}
+	for w := 0; w <= p.m; w++ {
+		qw := p.qprime[w]
+		if qw == 0 {
+			continue
+		}
+		// Odometer over (v_1..v_w) ∈ {0..c-1}^w, maintaining the failed
+		// set and the product of P' incrementally is not worth the
+		// bookkeeping at these sizes — recompute per assignment.
+		for i := range v {
+			v[i] = 0
+		}
+		for {
+			prod := 1.0
+			for l := 0; l < w; l++ {
+				prod *= p.pprime[v[l]]
+				hits[v[l]]++
+			}
+			for i := 0; i < c; i++ {
+				failed[i] = hits[i] > 0
+				hits[i] = 0
+			}
+			if prod != 0 {
+				down, err := f.EvalWith(failed, &fScratch)
+				if err != nil {
+					return nil, err
+				}
+				// Differential check of the encoding on this assignment.
+				mv[0] = w
+				for l := 0; l < p.m; l++ {
+					mv[1+l] = v[l]
+				}
+				assign, err := g.DecodeAssignment(mv)
+				if err != nil {
+					return nil, err
+				}
+				gDown, err := g.Netlist.EvalWith(assign, &gScratch)
+				if err != nil {
+					return nil, err
+				}
+				if gDown != down {
+					return nil, fmt.Errorf("yield: encoded G disagrees with fault tree at w=%d v=%v: G=%v, F=%v", w, v[:w], gDown, down)
+				}
+				if !down {
+					add(qw * prod)
+				}
+			}
+			// Advance the odometer over the first w positions.
+			l := 0
+			for ; l < w; l++ {
+				v[l]++
+				if v[l] < c {
+					break
+				}
+				v[l] = 0
+			}
+			if l == w {
+				break
+			}
+		}
+	}
+	res.Yield = yield
+	return res, nil
+}

@@ -146,6 +146,12 @@ func NewReevaluator(sys *System, opts Options) (*Reevaluator, error) {
 // M returns the truncation point the ROMDD was built for.
 func (r *Reevaluator) M() int { return r.m }
 
+// NumComponents returns the component count of the system the ROMDD
+// was built for — the length Yield/YieldRaw/Sensitivities inputs must
+// have. Callers sharing a Reevaluator through a keyed cache use it to
+// cross-check a request against the compiled model.
+func (r *Reevaluator) NumComponents() int { return len(r.sys.Components) }
+
 // YieldRaw reevaluates with explicit lethal-model inputs: pprime is
 // P'_1..P'_C (must sum to ≈1), qprime is Q'_0..Q'_M and tail the
 // remaining mass (qprime must have exactly M+1 entries).

@@ -47,6 +47,7 @@ import (
 	"socyield/internal/obs"
 	"socyield/internal/order"
 	"socyield/internal/reliability"
+	"socyield/internal/server"
 	"socyield/internal/yield"
 )
 
@@ -111,6 +112,37 @@ func NewProgressMeter(w io.Writer, label string, total int, interval time.Durati
 // BruteForce computes the same estimate exactly by inclusion–exclusion
 // (exponential in the component count; C ≤ 20).
 func BruteForce(sys *System, opts Options) (*Result, error) { return yield.BruteForce(sys, opts) }
+
+// ExactYield computes Y_M by direct summation over every assignment of
+// the generalized function G — the exact-enumeration oracle the ROMDD
+// pipeline is differentially tested against (C ≤ 12, small M).
+func ExactYield(sys *System, opts Options) (*Result, error) { return yield.ExactYield(sys, opts) }
+
+// ModelKey returns a collision-resistant key identifying the compiled
+// model Evaluate would build for (sys, opts) — the fault-tree
+// structure, the orderings, ε, the node budget and the resolved
+// truncation point M (also returned). Component names and lethality
+// values do not enter the key: the same compiled model serves any P_i.
+// The yieldd service uses it to cache Reevaluators across requests.
+func ModelKey(sys *System, opts Options) (key string, m int, err error) {
+	return yield.ModelKey(sys, opts)
+}
+
+// ServerConfig configures the yieldd HTTP evaluation service (listen
+// address, compiled-model cache size, node budget, concurrency limit,
+// request timeout, metrics registry, request logger).
+type ServerConfig = server.Config
+
+// EvaluationServer is the yieldd HTTP/JSON service: POST /v1/evaluate
+// and /v1/sweep evaluate systems against defect models on a keyed LRU
+// cache of compiled models with single-flight deduplication; GET
+// /healthz and /metrics expose liveness and the live counters. Use
+// Handler to mount it into an existing server or ListenAndServe to run
+// it standalone with graceful shutdown on context cancellation.
+type EvaluationServer = server.Server
+
+// NewEvaluationServer returns a ready-to-serve evaluation service.
+func NewEvaluationServer(cfg ServerConfig) *EvaluationServer { return server.New(cfg) }
 
 // Reevaluator reevaluates the yield of one system for many defect
 // models without rebuilding decision diagrams. It is immutable after
