@@ -55,7 +55,7 @@ func main() {
 		alpha     = flag.Float64("alpha", 0, "NB clustering parameter (0 = default 2)")
 		workers   = flag.Int("workers", 0, "cases evaluated concurrently (0 = all cores)")
 		benchJSON = flag.String("bench-json", "", "write the sweep scaling benchmark trajectory to this file")
-		benchCase = flag.String("bench-case", "ESEN8x2:1", "benchmark row for -bench-json")
+		benchCase = flag.String("bench-case", "ESEN8x2:1", `benchmark rows for -bench-json, e.g. "ESEN8x2:1,MS19:1"`)
 		benchPts  = flag.Int("bench-points", 64, "sweep grid size for -bench-json")
 		metricsJS = flag.String("metrics-json", "", "write collected metrics as JSON to this file (\"-\" = stdout)")
 		progress  = flag.Bool("progress", false, "print periodic progress lines for sweeps")
@@ -138,6 +138,14 @@ type sweepBench struct {
 	Cores       int     `json:"cores"`
 	ROMDDNodes  int     `json:"romdd_nodes"`
 	BuildSec    float64 `json:"build_seconds"`
+	// Compile-path statistics of the one-time build: final coded-ROBDD
+	// node count, the live-node high-water mark split by phase (the
+	// compile peak is the paper's "ROBDD peak"), and the ITE operation
+	// cache hit rate during compilation.
+	CodedROBDDNodes  int     `json:"coded_robdd_nodes"`
+	ROBDDPeakCompile int     `json:"robdd_peak_compile"`
+	ROBDDPeakConvert int     `json:"robdd_peak_convert"`
+	ITECacheHitRate  float64 `json:"ite_cache_hit_rate"`
 	// BuildPhases splits BuildSec into the pipeline's phases, from the
 	// one-time ROMDD construction (seconds per phase).
 	BuildPhases struct {
@@ -156,18 +164,41 @@ type sweepBench struct {
 	Identical bool `json:"parallel_identical_to_serial"`
 }
 
-// runSweepBench builds one shared ROMDD, evaluates a (λ', α) grid of
-// points serially and at doubling worker counts, verifies the results
-// are bit-identical, and writes the trajectory as JSON.
+// runSweepBench runs benchOneCase for every case in caseSpec and
+// writes the records as JSON: a single object for one case (the
+// BENCH_1.json format), an array for several.
 func runSweepBench(path, caseSpec string, points, maxWorkers int, progress bool, cfg experiments.Config) error {
 	parsed, err := parseCases(caseSpec)
-	if err != nil || len(parsed) != 1 {
+	if err != nil || len(parsed) == 0 {
 		return fmt.Errorf("bad -bench-case %q: %v", caseSpec, err)
 	}
-	cs := parsed[0]
-	sys, err := cliutil.LoadSystem(cs.Benchmark, "")
+	records := make([]sweepBench, 0, len(parsed))
+	for _, cs := range parsed {
+		rec, err := benchOneCase(cs, points, maxWorkers, progress, cfg)
+		if err != nil {
+			return err
+		}
+		records = append(records, rec)
+	}
+	var data []byte
+	if len(records) == 1 {
+		data, err = json.MarshalIndent(records[0], "", "  ")
+	} else {
+		data, err = json.MarshalIndent(records, "", "  ")
+	}
 	if err != nil {
 		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// benchOneCase builds one shared ROMDD, evaluates a (λ', α) grid of
+// points serially and at doubling worker counts, and verifies the
+// results are bit-identical.
+func benchOneCase(cs experiments.Case, points, maxWorkers int, progress bool, cfg experiments.Config) (sweepBench, error) {
+	sys, err := cliutil.LoadSystem(cs.Benchmark, "")
+	if err != nil {
+		return sweepBench{}, err
 	}
 	alpha, eps := cfg.Alpha, cfg.Epsilon
 	if alpha == 0 {
@@ -178,21 +209,27 @@ func runSweepBench(path, caseSpec string, points, maxWorkers int, progress bool,
 	}
 	dist, err := defects.NewNegativeBinomial(2*float64(cs.LambdaPrime), alpha)
 	if err != nil {
-		return err
+		return sweepBench{}, err
 	}
 	t0 := time.Now()
 	re, err := yield.NewReevaluator(sys, yield.Options{Defects: dist, Epsilon: eps, Recorder: cfg.Recorder})
 	if err != nil {
-		return err
+		return sweepBench{}, err
 	}
 	out := sweepBench{
-		Benchmark:   cs.Benchmark,
-		LambdaPrime: cs.LambdaPrime,
-		Points:      points,
-		Cores:       runtime.NumCPU(),
-		ROMDDNodes:  re.Result.ROMDDSize,
-		BuildSec:    time.Since(t0).Seconds(),
-		Identical:   true,
+		Benchmark:        cs.Benchmark,
+		LambdaPrime:      cs.LambdaPrime,
+		Points:           points,
+		Cores:            runtime.NumCPU(),
+		ROMDDNodes:       re.Result.ROMDDSize,
+		BuildSec:         time.Since(t0).Seconds(),
+		CodedROBDDNodes:  re.Result.CodedROBDDSize,
+		ROBDDPeakCompile: re.Result.Stats.CompilePeakLive,
+		ROBDDPeakConvert: re.Result.Stats.ConvertPeakLive,
+		Identical:        true,
+	}
+	if hits, misses := re.Result.Stats.BDD.ApplyCacheHits, re.Result.Stats.BDD.ApplyCacheMisses; hits+misses > 0 {
+		out.ITECacheHitRate = float64(hits) / float64(hits+misses)
 	}
 	ph := re.Result.Phases
 	out.BuildPhases.Prepare = ph.Prepare.Seconds()
@@ -235,11 +272,7 @@ func runSweepBench(path, caseSpec string, points, maxWorkers int, progress bool,
 		}{Workers: w, Seconds: sec, Speedup: serialSec / sec})
 		fmt.Printf("workers=%-3d %8.3fs  speedup %.2fx  identical %v\n", w, sec, serialSec/sec, out.Identical)
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return out, nil
 }
 
 // sweepGrid builds an n-point (λ', α) grid around the case's model.

@@ -190,9 +190,10 @@ func TestSizeAndSupport(t *testing.T) {
 	a, b, c := mustVar(t, m, 0), mustVar(t, m, 1), mustVar(t, m, 2)
 	ab, _ := m.And(a, b)
 	f, _ := m.Or(ab, c)
-	// Diagram: node(a) -> node(b) -> node(c), two terminals = 5 nodes.
-	if got := m.Size(f); got != 5 {
-		t.Errorf("Size = %d, want 5", got)
+	// Diagram: node(a) -> node(b) -> node(c) plus the single stored
+	// terminal (complement edges merge True and False) = 4 nodes.
+	if got := m.Size(f); got != 4 {
+		t.Errorf("Size = %d, want 4", got)
 	}
 	if got := m.Size(True); got != 1 {
 		t.Errorf("Size(True) = %d, want 1", got)

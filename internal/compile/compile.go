@@ -44,6 +44,7 @@ func Netlist(m *bdd.Manager, n *logic.Netlist, levels []int) (bdd.Node, error) {
 	fanout[out]++ // the caller is a consumer of the output
 
 	results := make(map[logic.GateID]bdd.Node, len(topo))
+	var operands []bdd.Node // scratch for n-ary gate fan-ins
 	release := func(id logic.GateID) {
 		fanout[id]--
 		if fanout[id] == 0 {
@@ -74,24 +75,23 @@ func Netlist(m *bdd.Manager, n *logic.Netlist, levels []int) (bdd.Node, error) {
 		case logic.NotKind:
 			r, err = m.Not(results[g.Fanin[0]])
 		case logic.AndKind, logic.NandKind:
-			r = bdd.True
+			// Hand the whole fan-in to the n-ary apply: it dedupes,
+			// short-circuits, and reduces pairwise in balanced rounds
+			// instead of folding a deep left spine of binary ITEs.
+			operands = operands[:0]
 			for _, f := range g.Fanin {
-				r, err = m.And(r, results[f])
-				if err != nil {
-					break
-				}
+				operands = append(operands, results[f])
 			}
+			r, err = m.And(operands...)
 			if err == nil && g.Kind == logic.NandKind {
 				r, err = m.Not(r)
 			}
 		case logic.OrKind, logic.NorKind:
-			r = bdd.False
+			operands = operands[:0]
 			for _, f := range g.Fanin {
-				r, err = m.Or(r, results[f])
-				if err != nil {
-					break
-				}
+				operands = append(operands, results[f])
 			}
+			r, err = m.Or(operands...)
 			if err == nil && g.Kind == logic.NorKind {
 				r, err = m.Not(r)
 			}

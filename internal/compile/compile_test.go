@@ -107,8 +107,8 @@ func TestCompileReleasesIntermediates(t *testing.T) {
 	}
 	m.Deref(root)
 	m.GC()
-	if m.Live() != 2 {
-		t.Errorf("after releasing root, live = %d, want 2 terminals", m.Live())
+	if m.Live() != 1 {
+		t.Errorf("after releasing root, live = %d, want the 1 stored terminal", m.Live())
 	}
 }
 
@@ -130,8 +130,8 @@ func TestCompileNodeLimitError(t *testing.T) {
 	// All intermediates must have been dereferenced: a GC now must
 	// collect everything but the terminals.
 	m.GC()
-	if m.Live() != 2 {
-		t.Errorf("after failed compile + GC, live = %d, want 2", m.Live())
+	if m.Live() != 1 {
+		t.Errorf("after failed compile + GC, live = %d, want 1", m.Live())
 	}
 }
 
@@ -229,7 +229,7 @@ func TestQuickCompileSemantics(t *testing.T) {
 }
 
 // Property: no reference leaks — after Deref of the root and GC, only
-// terminals remain, whatever the netlist.
+// the stored terminal remains, whatever the netlist.
 func TestQuickCompileNoLeaks(t *testing.T) {
 	const k = 5
 	f := func(seed int64) bool {
@@ -242,7 +242,7 @@ func TestQuickCompileNoLeaks(t *testing.T) {
 		}
 		m.Deref(root)
 		m.GC()
-		return m.Live() == 2
+		return m.Live() == 1
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)

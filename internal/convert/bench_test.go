@@ -51,6 +51,136 @@ func benchPipeline(b *testing.B) (*bdd.Manager, bdd.Node, Spec) {
 	return bm, root, spec
 }
 
+// mapToMDD is the pre-overhaul reference conversion, memoized with a
+// map[bdd.Node]mdd.Node instead of the handle-indexed slices ToMDD
+// uses now. It exists only as the benchmark baseline.
+func mapToMDD(bm *bdd.Manager, root bdd.Node, mm *mdd.Manager, spec Spec) (mdd.Node, error) {
+	memo := make(map[bdd.Node]mdd.Node)
+	var err error
+	var conv func(n bdd.Node) mdd.Node
+	conv = func(n bdd.Node) mdd.Node {
+		if err != nil || n == bdd.False {
+			return mdd.False
+		}
+		if n == bdd.True {
+			return mdd.True
+		}
+		if r, ok := memo[n]; ok {
+			return r
+		}
+		g := spec.LevelGroup[bm.Level(n)]
+		kids := make([]mdd.Node, spec.Domains[g])
+		for val := range kids {
+			kids[val] = conv(simulate(bm, &spec, n, g, val, nil))
+			if err != nil {
+				return mdd.False
+			}
+		}
+		r, mkErr := mm.MkNode(g, kids)
+		if mkErr != nil {
+			err = mkErr
+			return mdd.False
+		}
+		memo[n] = r
+		return r
+	}
+	out := conv(root)
+	return out, err
+}
+
+// mapProb is the map-memoized reference for Prob, the benchmark
+// baseline for the handle-indexed slice memo.
+func mapProb(bm *bdd.Manager, root bdd.Node, spec Spec, probs [][]float64) float64 {
+	memo := make(map[bdd.Node]float64)
+	var walk func(n bdd.Node) float64
+	walk = func(n bdd.Node) float64 {
+		if n == bdd.False {
+			return 0
+		}
+		if n == bdd.True {
+			return 1
+		}
+		if p, ok := memo[n]; ok {
+			return p
+		}
+		g := spec.LevelGroup[bm.Level(n)]
+		total := 0.0
+		for val, p := range probs[g] {
+			if p == 0 {
+				continue
+			}
+			total += p * walk(simulate(bm, &spec, n, g, val, nil))
+		}
+		memo[n] = total
+		return total
+	}
+	return walk(root)
+}
+
+// BenchmarkToMDDMemo compares the handle-indexed slice memo of ToMDD
+// against the map memo it replaced.
+func BenchmarkToMDDMemo(b *testing.B) {
+	bm, root, spec := benchPipeline(b)
+	b.Run("slice", func(b *testing.B) {
+		for b.Loop() {
+			mm, err := mdd.New(spec.Domains)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ToMDD(bm, root, mm, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		for b.Loop() {
+			mm, err := mdd.New(spec.Domains)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := mapToMDD(bm, root, mm, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkProbMemo compares the slice-memoized coded-ROBDD traversal
+// against the map memo it replaced.
+func BenchmarkProbMemo(b *testing.B) {
+	bm, root, spec := benchPipeline(b)
+	probs := make([][]float64, len(spec.Domains))
+	for g, d := range spec.Domains {
+		row := make([]float64, d)
+		for v := range row {
+			row[v] = 1 / float64(d)
+		}
+		probs[g] = row
+	}
+	want, err := Prob(bm, root, spec, probs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("slice", func(b *testing.B) {
+		for b.Loop() {
+			p, err := Prob(bm, root, spec, probs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if p != want {
+				b.Fatalf("p = %v, want %v", p, want)
+			}
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		for b.Loop() {
+			if p := mapProb(bm, root, spec, probs); p != want {
+				b.Fatalf("p = %v, want %v", p, want)
+			}
+		}
+	})
+}
+
 // BenchmarkToMDD measures the coded-ROBDD → ROMDD layer conversion.
 func BenchmarkToMDD(b *testing.B) {
 	bm, root, spec := benchPipeline(b)

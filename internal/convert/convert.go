@@ -144,7 +144,13 @@ func ToMDDWithStats(bm *bdd.Manager, root bdd.Node, mm *mdd.Manager, spec Spec, 
 		st.EntryNodes = make([]int64, len(spec.Domains))
 		steps = &st.SimSteps
 	}
-	memo := make(map[bdd.Node]mdd.Node)
+	// Map-free memoization: the coded ROBDD is read-only during the
+	// conversion, so handle values are bounded by NodeBound at entry and
+	// a flat slice indexed by handle replaces the hash map. The key is
+	// the full handle (complement bit included): a node and its
+	// complement denote different functions and convert independently.
+	memo := make([]mdd.Node, bm.NodeBound())
+	seen := make([]bool, bm.NodeBound())
 	var err error
 	var conv func(n bdd.Node) mdd.Node
 	conv = func(n bdd.Node) mdd.Node {
@@ -157,8 +163,8 @@ func ToMDDWithStats(bm *bdd.Manager, root bdd.Node, mm *mdd.Manager, spec Spec, 
 		if n == bdd.True {
 			return mdd.True
 		}
-		if r, ok := memo[n]; ok {
-			return r
+		if seen[n] {
+			return memo[n]
 		}
 		g := spec.LevelGroup[bm.Level(n)]
 		if st != nil {
@@ -177,6 +183,7 @@ func ToMDDWithStats(bm *bdd.Manager, root bdd.Node, mm *mdd.Manager, spec Spec, 
 			return mdd.False
 		}
 		memo[n] = r
+		seen[n] = true
 		return r
 	}
 	out := conv(root)
@@ -208,7 +215,9 @@ func Prob(bm *bdd.Manager, root bdd.Node, spec Spec, probs [][]float64) (float64
 			return 0, fmt.Errorf("convert: probability row %d has %d entries, want %d", g, len(row), spec.Domains[g])
 		}
 	}
-	memo := make(map[bdd.Node]float64)
+	// Handle-indexed memo, same pattern as ToMDDWithStats.
+	memo := make([]float64, bm.NodeBound())
+	seen := make([]bool, bm.NodeBound())
 	var walk func(n bdd.Node) float64
 	walk = func(n bdd.Node) float64 {
 		if n == bdd.False {
@@ -217,8 +226,8 @@ func Prob(bm *bdd.Manager, root bdd.Node, spec Spec, probs [][]float64) (float64
 		if n == bdd.True {
 			return 1
 		}
-		if p, ok := memo[n]; ok {
-			return p
+		if seen[n] {
+			return memo[n]
 		}
 		g := spec.LevelGroup[bm.Level(n)]
 		total := 0.0
@@ -229,6 +238,7 @@ func Prob(bm *bdd.Manager, root bdd.Node, spec Spec, probs [][]float64) (float64
 			total += p * walk(simulate(bm, &spec, n, g, val, nil))
 		}
 		memo[n] = total
+		seen[n] = true
 		return total
 	}
 	return walk(root), nil

@@ -327,7 +327,11 @@ func Curve(sys *yield.System, opts Options, times []float64) (*Result, error) {
 			}
 			unrel[i] = u
 		}
-		memo := make(map[bdd.Node]float64)
+		// Handle-indexed memo (the ROBDD is read-only here, so handle
+		// values are bounded by NodeBound) — same map-free pattern as
+		// convert.Prob.
+		memo := make([]float64, bm.NodeBound())
+		seen := make([]bool, bm.NodeBound())
 		var walk func(n bdd.Node) float64
 		walk = func(n bdd.Node) float64 {
 			if n == bdd.False {
@@ -336,8 +340,8 @@ func Curve(sys *yield.System, opts Options, times []float64) (*Result, error) {
 			if n == bdd.True {
 				return 1
 			}
-			if v, ok := memo[n]; ok {
-				return v
+			if seen[n] {
+				return memo[n]
 			}
 			li := info[bm.Level(n)]
 			var total float64
@@ -363,6 +367,7 @@ func Curve(sys *yield.System, opts Options, times []float64) (*Result, error) {
 				}
 			}
 			memo[n] = total
+			seen[n] = true
 			return total
 		}
 		rel := 1 - walk(root)

@@ -1,0 +1,71 @@
+package yield
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"socyield/internal/bdd"
+	"socyield/internal/order"
+)
+
+// TestComplementEdgeEquivalence runs the full pipeline on randomized
+// fault trees twice — once with the default complement-edge ROBDD
+// engine and once with bdd.WithoutComplementEdges — and asserts the
+// results are identical to the last bit. Both engines are canonical
+// for the same variable order, so the coded ROBDDs denote the same
+// function, the conversion discovers the same ROMDD in the same
+// order, and every float64 operation of the probability traversal
+// happens in the same sequence: Y_M must match under ==, not a
+// tolerance.
+func TestComplementEdgeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	mvKinds := []order.MVKind{order.MVWeight, order.MVWV, order.MVVW, order.MVTopology, order.MVH4}
+	trees := 50
+	if testing.Short() {
+		trees = 12
+	}
+	for i := 0; i < trees; i++ {
+		c := 3 + rng.Intn(5) // 3..7 components
+		sys := randomOracleSystem(rng, c)
+		dist := randomDistribution(rng)
+		eps := []float64{5e-2, 1e-2, 2e-3}[rng.Intn(3)]
+		opts := Options{
+			Defects: dist,
+			Epsilon: eps,
+			MVOrder: mvKinds[rng.Intn(len(mvKinds))],
+		}
+		name := fmt.Sprintf("tree %d (C=%d, %v, ε=%g, mv=%v)", i, c, dist, eps, opts.MVOrder)
+
+		ce, err := Evaluate(sys, opts)
+		if err != nil {
+			t.Fatalf("%s: complement-edge evaluate: %v", name, err)
+		}
+		classic := opts
+		classic.bddOptions = []bdd.Option{bdd.WithoutComplementEdges()}
+		cl, err := Evaluate(sys, classic)
+		if err != nil {
+			t.Fatalf("%s: classic evaluate: %v", name, err)
+		}
+
+		if ce.M != cl.M {
+			t.Errorf("%s: truncation point differs: %d vs %d", name, ce.M, cl.M)
+		}
+		if ce.Yield != cl.Yield {
+			t.Errorf("%s: Y_M differs: %.17g (complement edges) vs %.17g (classic)", name, ce.Yield, cl.Yield)
+		}
+		if ce.ErrorBound != cl.ErrorBound {
+			t.Errorf("%s: error bound differs: %.17g vs %.17g", name, ce.ErrorBound, cl.ErrorBound)
+		}
+		// The ROMDD is canonical for the MV order, so its size cannot
+		// depend on the binary engine's node representation.
+		if ce.ROMDDSize != cl.ROMDDSize {
+			t.Errorf("%s: ROMDD size differs: %d vs %d", name, ce.ROMDDSize, cl.ROMDDSize)
+		}
+		// Complement edges merge the terminals and share a function
+		// with its negation, so the stored diagram can only be smaller.
+		if ce.CodedROBDDSize > cl.CodedROBDDSize {
+			t.Errorf("%s: complement-edge ROBDD larger than classic: %d vs %d", name, ce.CodedROBDDSize, cl.CodedROBDDSize)
+		}
+	}
+}

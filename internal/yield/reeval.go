@@ -79,17 +79,17 @@ func NewReevaluator(sys *System, opts Options) (*Reevaluator, error) {
 
 	sp = buildSpan.Child("compile")
 	t0 = time.Now()
-	bm := bdd.New(g.Netlist.NumInputs(), bdd.WithNodeLimit(p.opts.NodeLimit))
+	bm := bdd.New(g.Netlist.NumInputs(), p.opts.bddManagerOptions()...)
 	root, err := compile.Netlist(bm, g.Netlist, plan.BinaryLevels)
 	res.Phases.Compile = time.Since(t0)
 	sp.End()
 	res.Stats.BDD = bm.Stats()
+	res.Stats.CompilePeakLive = bm.ResetPeakLive()
+	res.ROBDDPeak = res.Stats.CompilePeakLive
 	if err != nil {
-		res.ROBDDPeak = bm.PeakLive()
 		return nil, fmt.Errorf("yield: compiling coded ROBDD: %w", err)
 	}
 	res.CodedROBDDSize = bm.Size(root)
-	res.ROBDDPeak = bm.PeakLive()
 	groupOf, bitOf := groupMeta(g)
 	spec, err := convert.SpecFromPlanLevels(plan.BinaryLevels, groupOf, bitOf, plan.GroupSeq, g.Domains())
 	if err != nil {
@@ -107,6 +107,8 @@ func NewReevaluator(sys *System, opts Options) (*Reevaluator, error) {
 	res.Phases.Convert = time.Since(t0)
 	sp.End()
 	res.Stats.MDD = mm.BuildStats()
+	res.Stats.ConvertPeakLive = bm.PeakLive()
+	res.ROBDDPeak = max(res.ROBDDPeak, res.Stats.ConvertPeakLive)
 	if err != nil {
 		return nil, fmt.Errorf("yield: converting to ROMDD: %w", err)
 	}

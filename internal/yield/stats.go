@@ -24,6 +24,13 @@ type EngineStats struct {
 	// level, codeword simulation steps). Empty on routes that skip the
 	// conversion.
 	Convert convert.Stats
+	// CompilePeakLive and ConvertPeakLive split the ROBDD manager's
+	// live-node high-water mark by pipeline phase: the peak reached
+	// while compiling the coded ROBDD, and the peak reached afterwards
+	// while the conversion (or the direct coded-ROBDD evaluation) reads
+	// it. Result.ROBDDPeak is their maximum.
+	CompilePeakLive int
+	ConvertPeakLive int
 	// ROMDDPerLevel is the final ROMDD's node count per MV level;
 	// ROMDDMaxWidth its widest level.
 	ROMDDPerLevel []int
@@ -50,6 +57,8 @@ func (s *EngineStats) publish(rec *obs.Registry) {
 	rec.Counter("bdd.gc_freed").Add(s.BDD.GCFreed)
 	rec.Gauge("bdd.live").Set(int64(s.BDD.Live))
 	rec.Gauge("bdd.peak_live").SetMax(int64(s.BDD.PeakLive))
+	rec.Gauge("bdd.peak_live_compile").SetMax(int64(s.CompilePeakLive))
+	rec.Gauge("bdd.peak_live_convert").SetMax(int64(s.ConvertPeakLive))
 	rec.Gauge("bdd.arena_nodes").Set(int64(s.BDD.ArenaNodes))
 	rec.Gauge("bdd.unique_table_buckets").Set(int64(s.BDD.UniqueTableBuckets))
 	rec.Gauge("bdd.apply_cache_entries").Set(int64(s.BDD.ApplyCacheSize))

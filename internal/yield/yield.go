@@ -132,6 +132,19 @@ type Options struct {
 	// the structural gauges of the result. A nil Recorder disables all
 	// metric recording at near-zero cost — hot paths guard on it.
 	Recorder *obs.Registry
+	// bddOptions carries extra engine options into the coded-ROBDD
+	// manager. Unexported: it exists so the equivalence tests can run
+	// the identical pipeline with bdd.WithoutComplementEdges and assert
+	// bit-identical yields; it is deliberately not part of the public
+	// surface (and is excluded from ModelKey like the other
+	// result-invariant knobs).
+	bddOptions []bdd.Option
+}
+
+// bddManagerOptions assembles the engine options for the coded-ROBDD
+// manager: the node budget plus any test-only overrides.
+func (o *Options) bddManagerOptions() []bdd.Option {
+	return append([]bdd.Option{bdd.WithNodeLimit(o.NodeLimit)}, o.bddOptions...)
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -195,8 +208,9 @@ type Result struct {
 	GGates     int
 	BinaryVars int
 	// CodedROBDDSize is the node count of the final coded ROBDD;
-	// ROBDDPeak the peak live ROBDD nodes during compilation;
-	// ROMDDSize the node count of the ROMDD.
+	// ROBDDPeak the peak live ROBDD nodes over the whole run — the
+	// maximum of the per-phase peaks Stats.CompilePeakLive and
+	// Stats.ConvertPeakLive; ROMDDSize the node count of the ROMDD.
 	CodedROBDDSize int
 	ROBDDPeak      int
 	ROMDDSize      int
@@ -340,19 +354,19 @@ func Evaluate(sys *System, opts Options) (*Result, error) {
 
 	sp = evalSpan.Child("compile")
 	t0 = time.Now()
-	bm := bdd.New(g.Netlist.NumInputs(), bdd.WithNodeLimit(p.opts.NodeLimit))
+	bm := bdd.New(g.Netlist.NumInputs(), p.opts.bddManagerOptions()...)
 	broot, err := compile.Netlist(bm, g.Netlist, plan.BinaryLevels)
 	res.Phases.Compile = time.Since(t0)
 	sp.End()
 	res.Stats.BDD = bm.Stats()
+	res.Stats.CompilePeakLive = bm.ResetPeakLive()
+	res.ROBDDPeak = res.Stats.CompilePeakLive
 	if err != nil {
-		res.ROBDDPeak = bm.PeakLive()
 		res.Stats.publish(rec)
 		publishResult(rec, res)
 		return res, fmt.Errorf("yield: compiling coded ROBDD: %w", err)
 	}
 	res.CodedROBDDSize = bm.Size(broot)
-	res.ROBDDPeak = bm.PeakLive()
 
 	groupOf, bitOf := groupMeta(g)
 	spec, err := convert.SpecFromPlanLevels(plan.BinaryLevels, groupOf, bitOf, plan.GroupSeq, g.Domains())
@@ -371,6 +385,8 @@ func Evaluate(sys *System, opts Options) (*Result, error) {
 	res.Phases.Convert = time.Since(t0)
 	sp.End()
 	res.Stats.MDD = mm.BuildStats()
+	res.Stats.ConvertPeakLive = bm.PeakLive()
+	res.ROBDDPeak = max(res.ROBDDPeak, res.Stats.ConvertPeakLive)
 	if err != nil {
 		res.Stats.publish(rec)
 		publishResult(rec, res)
@@ -425,16 +441,16 @@ func EvaluateOnCodedROBDD(sys *System, opts Options) (*Result, error) {
 		return nil, err
 	}
 	t0 = time.Now()
-	bm := bdd.New(g.Netlist.NumInputs(), bdd.WithNodeLimit(p.opts.NodeLimit))
+	bm := bdd.New(g.Netlist.NumInputs(), p.opts.bddManagerOptions()...)
 	root, err := compile.Netlist(bm, g.Netlist, plan.BinaryLevels)
 	res.Phases.Compile = time.Since(t0)
 	res.Stats.BDD = bm.Stats()
+	res.Stats.CompilePeakLive = bm.ResetPeakLive()
+	res.ROBDDPeak = res.Stats.CompilePeakLive
 	if err != nil {
-		res.ROBDDPeak = bm.PeakLive()
 		return res, fmt.Errorf("yield: compiling coded ROBDD: %w", err)
 	}
 	res.CodedROBDDSize = bm.Size(root)
-	res.ROBDDPeak = bm.PeakLive()
 	groupOf, bitOf := groupMeta(g)
 	spec, err := convert.SpecFromPlanLevels(plan.BinaryLevels, groupOf, bitOf, plan.GroupSeq, g.Domains())
 	if err != nil {
@@ -446,6 +462,8 @@ func EvaluateOnCodedROBDD(sys *System, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res.Phases.Eval = time.Since(t0)
+	res.Stats.ConvertPeakLive = bm.PeakLive()
+	res.ROBDDPeak = max(res.ROBDDPeak, res.Stats.ConvertPeakLive)
 	res.Yield = 1 - pg1
 	return res, nil
 }
