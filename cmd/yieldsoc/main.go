@@ -64,6 +64,7 @@ func run() error {
 		fRate     = flag.Float64("frate", 1e-3, "field failure rate per component (with -reliability)")
 		sweep     = flag.String("sweep", "", "comma-separated λ values for a batch sweep on the shared ROMDD")
 		workers   = flag.Int("workers", 0, "parallel workers for -sweep and -mc (0 = all cores)")
+		buildWork = flag.Int("build-workers", 0, "workers for the decision-diagram build (0 = all cores, 1 = serial engine)")
 		verbose   = flag.Bool("v", false, "print per-phase statistics")
 		metricsJS = flag.String("metrics-json", "", "write collected metrics as JSON to this file (\"-\" = stdout)")
 		progress  = flag.Bool("progress", false, "print periodic progress lines for sweeps and Monte-Carlo runs")
@@ -105,7 +106,8 @@ func run() error {
 	opts := yield.Options{
 		Defects: dist, Epsilon: *eps,
 		MVOrder: mv, BitOrder: bits, NodeLimit: *nodeLimit,
-		Recorder: rec,
+		BuildWorkers: *buildWork,
+		Recorder:     rec,
 	}
 	start := time.Now()
 	res, err := yield.Evaluate(sys, opts)

@@ -231,6 +231,12 @@ type Stats struct {
 	// GCs counts garbage collections, GCFreed the total nodes freed.
 	GCs     int
 	GCFreed int64
+	// ShardContention and CacheContention count lock acquisitions that
+	// found a unique-table shard (resp. an operation-cache stripe)
+	// already held by another worker of the concurrent engine. Always
+	// zero for the serial engine.
+	ShardContention int64
+	CacheContention int64
 }
 
 // Stats returns the current instrumentation snapshot.

@@ -1,0 +1,839 @@
+// Concurrent build engine: a Shared arena plus per-goroutine Worker
+// handles, safe for parallel mk/ITE from any number of workers.
+//
+// The serial Manager remains the reference engine (and the oracle the
+// equivalence tests compare against); Shared exists so the one-time
+// build — netlist compilation and ROMDD conversion — can use every
+// core. The two engines are canonical for the same variable order, so
+// they represent every function by a structurally identical diagram:
+// results derived from the diagram's structure (function values, sizes,
+// probabilities) are bit-identical regardless of the worker count or
+// scheduling, even though arena slot numbers differ run to run.
+//
+// Layout:
+//
+//   - The node arena is paged: a lock-free atomic pointer to a slice of
+//     fixed-size pages. Growth appends pages behind a mutex and
+//     republishes the slice; readers never block and existing nodes
+//     never move. Workers allocate slots in chunks (one atomic add per
+//     chunk), so slot allocation is contention-free.
+//   - The unique table is sharded: the node hash selects one of
+//     numShards independently locked shards, each with its own bucket
+//     array (chained through node.next, as in the serial engine) that
+//     grows independently. mk holds exactly one shard lock.
+//   - The ITE operation cache is one shared 2-way set-associative
+//     array; sets are striped over numStripes mutexes. A wrong cache
+//     hit would silently corrupt results, so lookups are fully locked —
+//     contention is counted (CacheContention) rather than raced away.
+//   - Reference counts are adjusted atomically (Ref/Deref), and
+//     live/limit accounting uses shared atomics.
+//   - Per-worker state (allocation chunk, free-slot batch, n-ary apply
+//     scratch, instrumentation counters) lives in the Worker handle —
+//     the concurrent replacement for the serial engine's global
+//     stamp/scratch slices.
+//
+// Garbage collection is stop-the-world at caller-provided quiescent
+// points: the driver (package compile's work-stealing pool) guarantees
+// no worker is inside an operation, then calls GC from one goroutine.
+// Worker chunks survive collection because unused slots carry
+// freeLevel from the moment a chunk is grabbed.
+package bdd
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	pageShift = 16
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+
+	numShards  = 256
+	numStripes = 512
+
+	allocChunk = 2048
+	freeBatch  = 1024
+
+	// maxSlots keeps idx<<1|complement representable in the int32 Node.
+	maxSlots = 1 << 30
+)
+
+// page is one fixed-size block of the shared arena. Pages never move
+// once published, so a *node stays valid across growth.
+type page struct {
+	nodes [pageSize]node
+	refs  [pageSize]int32
+}
+
+// uniqShard is one lock of the striped unique table. count and growths
+// are guarded by mu.
+type uniqShard struct {
+	mu      sync.Mutex
+	buckets []int32
+	count   int64
+	growths int64
+	_       [16]byte // keep hot shards off each other's cache lines
+}
+
+// cacheStripe is one lock of the striped ITE cache.
+type cacheStripe struct {
+	mu sync.Mutex
+	_  [56]byte
+}
+
+// Shared is a concurrent ROBDD build arena. Operations go through
+// Worker handles (NewWorker), one per goroutine; the read-only
+// accessors (Level, Lo, Hi, Eval, ...) are safe from any goroutine at
+// any time, and the bookkeeping entry points (GC, Stats, Size,
+// ResetPeakLive) require all workers to be quiescent.
+//
+// Shared always uses complement edges; the classic engine variant
+// exists only on the serial Manager.
+type Shared struct {
+	numVars int32
+	limit   int64
+
+	pages    atomic.Pointer[[]*page]
+	growMu   sync.Mutex
+	nextSlot atomic.Int64
+
+	live     atomic.Int64
+	peakLive atomic.Int64
+	limitHit atomic.Bool
+
+	shards  [numShards]uniqShard
+	stripes [numStripes]cacheStripe
+
+	// cache and cacheMask are mutated only at quiescent points.
+	cache     []cacheEntry
+	cacheMask uint32
+
+	freeMu   sync.Mutex
+	freeList []int32
+
+	autoGCAt atomic.Int64
+	gcCount  int
+	gcFreed  int64
+	markBits []uint64 // GC scratch, reused across collections
+
+	aggMu sync.Mutex
+	agg   workerTotals
+}
+
+// workerTotals accumulates the counters of closed workers.
+type workerTotals struct {
+	cacheHits    int64
+	cacheMisses  int64
+	uniqueHits   int64
+	nodesCreated int64
+	shardWaits   int64
+	cacheWaits   int64
+}
+
+// NewShared creates a concurrent build arena for numVars boolean
+// variables. nodeLimit bounds simultaneously live stored nodes as in
+// WithNodeLimit; 0 means unlimited.
+func NewShared(numVars, nodeLimit int) *Shared {
+	if numVars < 0 {
+		panic(fmt.Sprintf("bdd: negative variable count %d", numVars))
+	}
+	s := &Shared{numVars: int32(numVars), limit: int64(nodeLimit)}
+	pages := []*page{new(page)}
+	s.pages.Store(&pages)
+	// Slot 0 is the single stored terminal, as in the serial engine.
+	pages[0].nodes[0] = node{level: s.numVars, next: nilIdx}
+	pages[0].refs[0] = 1
+	s.nextSlot.Store(1)
+	s.live.Store(1)
+	s.peakLive.Store(1)
+	for i := range s.shards {
+		b := make([]int32, 64)
+		for j := range b {
+			b[j] = nilIdx
+		}
+		s.shards[i].buckets = b
+	}
+	s.cache = make([]cacheEntry, 1<<14)
+	s.cacheMask = uint32(len(s.cache)/2 - 1)
+	s.autoGCAt.Store(1 << 16)
+	return s
+}
+
+// nodeAt returns the arena slot idx. The pages pointer is loaded
+// atomically, so the slot stays valid across concurrent growth.
+func (s *Shared) nodeAt(idx int32) *node {
+	pgs := *s.pages.Load()
+	return &pgs[idx>>pageShift].nodes[idx&pageMask]
+}
+
+// refAt returns the refcount cell of slot idx (adjust atomically).
+func (s *Shared) refAt(idx int32) *int32 {
+	pgs := *s.pages.Load()
+	return &pgs[idx>>pageShift].refs[idx&pageMask]
+}
+
+// ensureCapacity grows the page list until it covers slot upTo-1.
+func (s *Shared) ensureCapacity(upTo int64) {
+	if upTo > maxSlots {
+		panic(fmt.Sprintf("bdd: arena would exceed %d nodes", maxSlots))
+	}
+	if cur := *s.pages.Load(); int64(len(cur))<<pageShift >= upTo {
+		return
+	}
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+	cur := *s.pages.Load()
+	need := int((upTo + pageMask) >> pageShift)
+	if len(cur) >= need {
+		return
+	}
+	next := make([]*page, need)
+	copy(next, cur)
+	for i := len(cur); i < need; i++ {
+		next[i] = new(page)
+	}
+	s.pages.Store(&next)
+}
+
+// NumVars returns the number of variables the arena was created with.
+func (s *Shared) NumVars() int { return int(s.numVars) }
+
+// Level returns the variable level of n, or NumVars() for terminals.
+func (s *Shared) Level(n Node) int { return int(s.nodeAt(int32(n >> 1)).level) }
+
+// Lo returns the else-cofactor of n, resolving the handle's polarity.
+func (s *Shared) Lo(n Node) Node { return s.nodeAt(int32(n>>1)).lo ^ (n & 1) }
+
+// Hi returns the then-cofactor of n, resolving the handle's polarity.
+func (s *Shared) Hi(n Node) Node { return s.nodeAt(int32(n>>1)).hi ^ (n & 1) }
+
+// IsTerminal reports whether n is False or True.
+func (s *Shared) IsTerminal(n Node) bool { return n <= True }
+
+// NodeBound returns an exclusive upper bound on the integer value of
+// every handle issued so far, for handle-indexed scratch slices.
+func (s *Shared) NodeBound() int { return int(2 * s.nextSlot.Load()) }
+
+// Live returns the number of live stored nodes (including the
+// terminal).
+func (s *Shared) Live() int { return int(s.live.Load()) }
+
+// LimitExceeded reports whether any operation failed with ErrNodeLimit.
+func (s *Shared) LimitExceeded() bool { return s.limitHit.Load() }
+
+// PeakLive returns the live-node high-water mark. Live only decreases
+// at quiescent-point collections, so the peak is maintained there (and
+// on demand here) instead of on the allocation fast path.
+func (s *Shared) PeakLive() int {
+	s.bumpPeak()
+	return int(s.peakLive.Load())
+}
+
+// ResetPeakLive returns the current peak and restarts tracking from
+// the current live count. Quiescent callers only.
+func (s *Shared) ResetPeakLive() int {
+	s.bumpPeak()
+	p := s.peakLive.Load()
+	s.peakLive.Store(s.live.Load())
+	return int(p)
+}
+
+func (s *Shared) bumpPeak() {
+	if l := s.live.Load(); l > s.peakLive.Load() {
+		s.peakLive.Store(l)
+	}
+}
+
+// Ref adds an external reference to n (atomic; safe from any worker).
+func (s *Shared) Ref(n Node) Node {
+	if n > True {
+		atomic.AddInt32(s.refAt(int32(n>>1)), 1)
+	}
+	return n
+}
+
+// RefN adds k external references to n in one atomic step.
+func (s *Shared) RefN(n Node, k int32) Node {
+	if n > True && k > 0 {
+		atomic.AddInt32(s.refAt(int32(n>>1)), k)
+	}
+	return n
+}
+
+// Deref removes one external reference.
+func (s *Shared) Deref(n Node) {
+	if n > True {
+		if atomic.AddInt32(s.refAt(int32(n>>1)), -1) < 0 {
+			panic(fmt.Sprintf("bdd: Deref of unreferenced node %d", n))
+		}
+	}
+}
+
+// Eval evaluates f under the assignment (as Manager.Eval).
+func (s *Shared) Eval(f Node, assign []bool) bool {
+	for !s.IsTerminal(f) {
+		c := f & 1
+		nd := s.nodeAt(int32(f >> 1))
+		if int(nd.level) < len(assign) && assign[nd.level] {
+			f = nd.hi ^ c
+		} else {
+			f = nd.lo ^ c
+		}
+	}
+	return f == True
+}
+
+// Size returns the number of stored nodes reachable from f, including
+// the terminal. Quiescent callers only (it walks the arena unlocked).
+func (s *Shared) Size(f Node) int {
+	bits := make([]uint64, (s.nextSlot.Load()+63)/64)
+	return s.sizeRec(int32(f>>1), bits)
+}
+
+func (s *Shared) sizeRec(idx int32, bits []uint64) int {
+	if bits[idx>>6]&(1<<(uint(idx)&63)) != 0 {
+		return 0
+	}
+	bits[idx>>6] |= 1 << (uint(idx) & 63)
+	if idx == 0 {
+		return 1
+	}
+	nd := s.nodeAt(idx)
+	return 1 + s.sizeRec(int32(nd.lo>>1), bits) + s.sizeRec(int32(nd.hi>>1), bits)
+}
+
+// NeedGC reports whether the live count has crossed the automatic
+// collection threshold. Drivers check it between tasks and, when true,
+// quiesce all workers and call GC from one goroutine.
+func (s *Shared) NeedGC() bool { return s.live.Load() >= s.autoGCAt.Load() }
+
+// GC reclaims every node without an external reference, exactly as the
+// serial engine's collector: mark from refcount roots, sweep to the
+// free list, rebuild the shard chains, clear the operation cache. All
+// workers must be quiescent. It also applies the serial engine's
+// back-off (the threshold doubles while most of the arena stays live)
+// and grows the shared ITE cache toward the live size.
+func (s *Shared) GC() int {
+	bound := int32(s.nextSlot.Load())
+	s.bumpPeak()
+	words := (int(bound) + 63) / 64
+	if cap(s.markBits) < words {
+		s.markBits = make([]uint64, words)
+	} else {
+		s.markBits = s.markBits[:words]
+		clear(s.markBits)
+	}
+	bits := s.markBits
+	for i := int32(1); i < bound; i++ {
+		if s.nodeAt(i).level != freeLevel && atomic.LoadInt32(s.refAt(i)) > 0 {
+			s.markShared(i, bits)
+		}
+	}
+	freed := 0
+	s.freeMu.Lock()
+	for i := int32(1); i < bound; i++ {
+		nd := s.nodeAt(i)
+		if nd.level == freeLevel || bits[i>>6]&(1<<(uint(i)&63)) != 0 {
+			continue
+		}
+		*nd = node{level: freeLevel, next: nilIdx}
+		s.freeList = append(s.freeList, i)
+		freed++
+	}
+	s.freeMu.Unlock()
+	if freed > 0 {
+		s.live.Add(int64(-freed))
+		s.gcFreed += int64(freed)
+		s.rebuildShards(bound, bits)
+	}
+	clear(s.cache)
+	s.gcCount++
+	if l := s.live.Load(); l*2 > s.autoGCAt.Load() {
+		s.autoGCAt.Store(l * 2)
+	}
+	s.growCacheToward(int(s.live.Load()))
+	return freed
+}
+
+func (s *Shared) markShared(idx int32, bits []uint64) {
+	if bits[idx>>6]&(1<<(uint(idx)&63)) != 0 {
+		return
+	}
+	bits[idx>>6] |= 1 << (uint(idx) & 63)
+	if idx == 0 {
+		return
+	}
+	nd := s.nodeAt(idx)
+	s.markShared(int32(nd.lo>>1), bits)
+	s.markShared(int32(nd.hi>>1), bits)
+}
+
+// rebuildShards rechains every live node after a sweep (dead nodes
+// would otherwise linger in bucket chains). Quiescent, single-threaded.
+func (s *Shared) rebuildShards(bound int32, marked []uint64) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for j := range sh.buckets {
+			sh.buckets[j] = nilIdx
+		}
+		sh.count = 0
+	}
+	for i := int32(1); i < bound; i++ {
+		if marked[i>>6]&(1<<(uint(i)&63)) == 0 {
+			continue
+		}
+		nd := s.nodeAt(i)
+		if nd.level == freeLevel {
+			continue
+		}
+		h := mix(uint32(nd.level), uint32(nd.lo), uint32(nd.hi))
+		sh := &s.shards[h&(numShards-1)]
+		b := (h >> 8) & uint32(len(sh.buckets)-1)
+		nd.next = sh.buckets[b]
+		sh.buckets[b] = i
+		sh.count++
+	}
+}
+
+// growCacheToward doubles the shared ITE cache while it is smaller
+// than the live node count, capped so the cache cannot dwarf the
+// diagrams it serves. Quiescent callers only.
+func (s *Shared) growCacheToward(live int) {
+	const maxCache = 1 << 23
+	n := len(s.cache)
+	for n < live && n < maxCache {
+		n *= 2
+	}
+	if n != len(s.cache) {
+		s.cache = make([]cacheEntry, n)
+		s.cacheMask = uint32(n/2 - 1)
+	}
+}
+
+// Stats returns the aggregate instrumentation snapshot. Counters of
+// still-open workers are not included — close all workers (or call
+// only after the build) for exact totals.
+func (s *Shared) Stats() Stats {
+	s.aggMu.Lock()
+	agg := s.agg
+	s.aggMu.Unlock()
+	s.bumpPeak()
+	var buckets int
+	var growths int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		buckets += len(sh.buckets)
+		growths += sh.growths
+		sh.mu.Unlock()
+	}
+	return Stats{
+		Live:               int(s.live.Load()),
+		PeakLive:           int(s.peakLive.Load()),
+		ArenaNodes:         int(s.nextSlot.Load()),
+		UniqueTableBuckets: buckets,
+		UniqueTableGrowths: growths,
+		UniqueTableHits:    agg.uniqueHits,
+		NodesCreated:       agg.nodesCreated,
+		ApplyCacheHits:     agg.cacheHits,
+		ApplyCacheMisses:   agg.cacheMisses,
+		ApplyCacheSize:     len(s.cache),
+		GCs:                s.gcCount,
+		GCFreed:            s.gcFreed,
+		ShardContention:    agg.shardWaits,
+		CacheContention:    agg.cacheWaits,
+	}
+}
+
+// Worker is a per-goroutine handle on a Shared arena. Workers are not
+// goroutine-safe themselves — one goroutine per Worker — and must be
+// closed so their counters flush into the arena totals. Operations
+// panic with the internal node-limit sentinel when the arena budget is
+// exceeded; drivers recover it with RecoverLimit.
+type Worker struct {
+	s        *Shared
+	chunk    int32
+	chunkEnd int32
+	free     []int32
+	naryBuf  []Node
+	workerTotals
+}
+
+// NewWorker returns a fresh worker handle.
+func (s *Shared) NewWorker() *Worker { return &Worker{s: s} }
+
+// Close flushes the worker's counters into the arena totals and
+// returns its unused slots to the shared free list.
+func (w *Worker) Close() {
+	s := w.s
+	s.freeMu.Lock()
+	s.freeList = append(s.freeList, w.free...)
+	for i := w.chunk; i < w.chunkEnd; i++ {
+		s.freeList = append(s.freeList, i)
+	}
+	s.freeMu.Unlock()
+	w.free, w.chunk, w.chunkEnd = nil, 0, 0
+	s.aggMu.Lock()
+	s.agg.cacheHits += w.cacheHits
+	s.agg.cacheMisses += w.cacheMisses
+	s.agg.uniqueHits += w.uniqueHits
+	s.agg.nodesCreated += w.nodesCreated
+	s.agg.shardWaits += w.shardWaits
+	s.agg.cacheWaits += w.cacheWaits
+	s.aggMu.Unlock()
+	w.workerTotals = workerTotals{}
+}
+
+// RecoverLimit converts the engine's internal node-limit panic into
+// ErrNodeLimit; any other panic is re-raised. Use it as a deferred
+// call around Worker operations:
+//
+//	var err error
+//	func() {
+//		defer bdd.RecoverLimit(&err)
+//		r = w.And(fs...)
+//	}()
+func RecoverLimit(err *error) {
+	if r := recover(); r != nil {
+		if _, ok := r.(errLimitPanic); ok {
+			*err = ErrNodeLimit
+			return
+		}
+		panic(r)
+	}
+}
+
+// allocSlot returns a fresh arena slot: the worker's recycled batch
+// first, then its bump chunk, refilling from the shared free list or
+// the bump allocator when both run dry.
+func (w *Worker) allocSlot() int32 {
+	if n := len(w.free); n > 0 {
+		idx := w.free[n-1]
+		w.free = w.free[:n-1]
+		return idx
+	}
+	if w.chunk < w.chunkEnd {
+		idx := w.chunk
+		w.chunk++
+		return idx
+	}
+	w.refill()
+	return w.allocSlot()
+}
+
+func (w *Worker) refill() {
+	s := w.s
+	s.freeMu.Lock()
+	if n := len(s.freeList); n > 0 {
+		take := freeBatch
+		if take > n {
+			take = n
+		}
+		w.free = append(w.free, s.freeList[n-take:]...)
+		s.freeList = s.freeList[:n-take]
+		s.freeMu.Unlock()
+		return
+	}
+	s.freeMu.Unlock()
+	lo := s.nextSlot.Add(allocChunk) - allocChunk
+	s.ensureCapacity(lo + allocChunk)
+	// Pre-mark the chunk as free so a quiescent-point sweep skips slots
+	// the worker has claimed but not yet used.
+	for i := lo; i < lo+allocChunk; i++ {
+		s.nodeAt(int32(i)).level = freeLevel
+	}
+	w.chunk, w.chunkEnd = int32(lo), int32(lo+allocChunk)
+}
+
+// mk returns the canonical node (level, lo, hi), creating it if
+// needed, under exactly one unique-table shard lock. Canonical form is
+// identical to the serial engine's (regular then-edge).
+func (w *Worker) mk(level int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	var out Node
+	if hi&1 != 0 {
+		lo ^= 1
+		hi ^= 1
+		out = 1
+	}
+	s := w.s
+	h := mix(uint32(level), uint32(lo), uint32(hi))
+	sh := &s.shards[h&(numShards-1)]
+	if !sh.mu.TryLock() {
+		w.shardWaits++
+		sh.mu.Lock()
+	}
+	b := (h >> 8) & uint32(len(sh.buckets)-1)
+	for i := sh.buckets[b]; i != nilIdx; i = s.nodeAt(i).next {
+		nd := s.nodeAt(i)
+		if nd.level == level && nd.lo == lo && nd.hi == hi {
+			sh.mu.Unlock()
+			w.uniqueHits++
+			return Node(i<<1) | out
+		}
+	}
+	if s.limit > 0 && s.live.Load() >= s.limit {
+		sh.mu.Unlock()
+		s.limitHit.Store(true)
+		panic(errLimitPanic{})
+	}
+	idx := w.allocSlot()
+	nd := s.nodeAt(idx)
+	nd.level, nd.lo, nd.hi, nd.next = level, lo, hi, sh.buckets[b]
+	*s.refAt(idx) = 0
+	sh.buckets[b] = idx
+	sh.count++
+	if sh.count > int64(len(sh.buckets)) {
+		sh.grow(s)
+	}
+	sh.mu.Unlock()
+	w.nodesCreated++
+	s.live.Add(1)
+	return Node(idx<<1) | out
+}
+
+// grow doubles one shard's bucket array, rechaining its nodes. Called
+// with the shard lock held.
+func (sh *uniqShard) grow(s *Shared) {
+	old := sh.buckets
+	nb := make([]int32, len(old)*2)
+	for i := range nb {
+		nb[i] = nilIdx
+	}
+	for _, head := range old {
+		for i := head; i != nilIdx; {
+			nd := s.nodeAt(i)
+			next := nd.next
+			h := mix(uint32(nd.level), uint32(nd.lo), uint32(nd.hi))
+			b := (h >> 8) & uint32(len(nb)-1)
+			nd.next = nb[b]
+			nb[b] = i
+			i = next
+		}
+	}
+	sh.buckets = nb
+	sh.growths++
+}
+
+func (s *Shared) cofactorShared(n Node, level int32) (lo, hi Node) {
+	nd := s.nodeAt(int32(n >> 1))
+	if nd.level == level {
+		c := n & 1
+		return nd.lo ^ c, nd.hi ^ c
+	}
+	return n, n
+}
+
+// ite mirrors Manager.ite (complement-edge branch) against the shared
+// cache and unique table. The normalizations pick representatives by
+// handle value, which differs between engines and runs — but every
+// choice computes the same canonical function, which is all the
+// equivalence guarantee needs.
+func (w *Worker) ite(f, g, h Node) Node {
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	}
+	if g == f {
+		g = True
+	}
+	if h == f {
+		h = False
+	}
+	if g == f^1 {
+		g = False
+	}
+	if h == f^1 {
+		h = True
+	}
+	switch {
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	case g == False && h == True:
+		return f ^ 1
+	}
+	if g == True { // f ∨ h = ITE(h, 1, f)
+		if regIdx(f) > regIdx(h) {
+			f, h = h, f
+		}
+	} else if h == False { // f ∧ g = ITE(g, f, 0)
+		if regIdx(f) > regIdx(g) {
+			f, g = g, f
+		}
+	} else {
+		switch {
+		case h == True: // f → g = ITE(¬g, ¬f, 1)
+			if regIdx(f) > regIdx(g) {
+				f, g = g^1, f^1
+			}
+		case g == False: // ¬f ∧ h = ITE(¬h, 0, ¬f)
+			if regIdx(f) > regIdx(h) {
+				f, h = h^1, f^1
+			}
+		case g == h^1: // f ≡ g = ITE(g, f, ¬f)
+			if regIdx(f) > regIdx(g) {
+				f, g = g, f
+				h = g ^ 1
+			}
+		}
+	}
+	var out Node
+	if f&1 != 0 {
+		f ^= 1
+		g, h = h, g
+	}
+	if g&1 != 0 {
+		g ^= 1
+		h ^= 1
+		out = 1
+	}
+	s := w.s
+	set := (mix(uint32(f), uint32(g), uint32(h)) & s.cacheMask) * 2
+	st := &s.stripes[(set>>1)&(numStripes-1)]
+	if !st.mu.TryLock() {
+		w.cacheWaits++
+		st.mu.Lock()
+	}
+	s0, s1 := &s.cache[set], &s.cache[set+1]
+	if s0.op == opITE && s0.f == f && s0.g == g && s0.h == h {
+		r := s0.result
+		st.mu.Unlock()
+		w.cacheHits++
+		return r ^ out
+	}
+	if s1.op == opITE && s1.f == f && s1.g == g && s1.h == h {
+		*s0, *s1 = *s1, *s0
+		r := s0.result
+		st.mu.Unlock()
+		w.cacheHits++
+		return r ^ out
+	}
+	st.mu.Unlock()
+	w.cacheMisses++
+	top := min3(s.nodeAt(int32(f>>1)).level, s.nodeAt(int32(g>>1)).level, s.nodeAt(int32(h>>1)).level)
+	f0, f1 := s.cofactorShared(f, top)
+	g0, g1 := s.cofactorShared(g, top)
+	h0, h1 := s.cofactorShared(h, top)
+	lo := w.ite(f0, g0, h0)
+	hi := w.ite(f1, g1, h1)
+	r := w.mk(top, lo, hi)
+	if !st.mu.TryLock() {
+		w.cacheWaits++
+		st.mu.Lock()
+	}
+	*s1 = *s0
+	*s0 = cacheEntry{f: f, g: g, h: h, result: r, op: opITE}
+	st.mu.Unlock()
+	return r ^ out
+}
+
+// Var returns the function of the variable at the given level. The
+// level must be valid (drivers validate once up front).
+func (w *Worker) Var(level int) Node {
+	if level < 0 || int32(level) >= w.s.numVars {
+		panic(fmt.Sprintf("bdd: variable level %d out of range [0,%d)", level, w.s.numVars))
+	}
+	return w.mk(int32(level), False, True)
+}
+
+// Not returns the complement of f (a bit flip; never allocates).
+func (w *Worker) Not(f Node) Node { return f ^ 1 }
+
+// ITE returns if-then-else(f, g, h).
+func (w *Worker) ITE(f, g, h Node) Node { return w.ite(f, g, h) }
+
+// Xor returns the exclusive-or of f and g.
+func (w *Worker) Xor(f, g Node) Node { return w.ite(f, g^1, g) }
+
+// And returns the conjunction of the arguments (True when empty) via
+// the same balanced n-ary apply as the serial engine, using the
+// worker's private operand scratch.
+func (w *Worker) And(fs ...Node) Node { return w.applyNaryShared(fs, naryAnd) }
+
+// Or returns the disjunction of the arguments (False when empty).
+func (w *Worker) Or(fs ...Node) Node { return w.applyNaryShared(fs, naryOr) }
+
+// prepNaryShared is Manager.prepNary for the (always complement-edge)
+// shared engine.
+func prepNaryShared(buf []Node, op int) ([]Node, bool) {
+	neutral, dominant := Node(True), Node(False)
+	if op == naryOr {
+		neutral, dominant = False, True
+	}
+	k := 0
+	for _, f := range buf {
+		if f == dominant {
+			return buf[:0], false
+		}
+		if f == neutral {
+			continue
+		}
+		buf[k] = f
+		k++
+	}
+	buf = buf[:k]
+	slices.Sort(buf)
+	buf = slices.Compact(buf)
+	for i := 0; i+1 < len(buf); i++ {
+		if buf[i]^buf[i+1] == 1 {
+			return buf[:0], false // x ∧ ¬x = 0,  x ∨ ¬x = 1
+		}
+	}
+	return buf, true
+}
+
+func (w *Worker) applyNaryShared(fs []Node, op int) Node {
+	neutral, dominant := Node(True), Node(False)
+	if op == naryOr {
+		neutral, dominant = False, True
+	}
+	buf := w.naryBuf[:0]
+	buf = append(buf, fs...)
+	var ok bool
+	for {
+		if buf, ok = prepNaryShared(buf, op); !ok {
+			w.naryBuf = buf
+			return dominant
+		}
+		switch len(buf) {
+		case 0:
+			w.naryBuf = buf
+			return neutral
+		case 1:
+			r := buf[0]
+			w.naryBuf = buf
+			return r
+		}
+		k := 0
+		for i := 0; i+1 < len(buf); i += 2 {
+			var r Node
+			if op == naryAnd {
+				r = w.ite(buf[i], buf[i+1], False)
+			} else {
+				r = w.ite(buf[i], True, buf[i+1])
+			}
+			if r == dominant {
+				w.naryBuf = buf[:0]
+				return dominant
+			}
+			buf[k] = r
+			k++
+		}
+		if len(buf)%2 == 1 {
+			buf[k] = buf[len(buf)-1]
+			k++
+		}
+		buf = buf[:k]
+	}
+}

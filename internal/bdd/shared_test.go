@@ -1,0 +1,256 @@
+package bdd
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randomFormula returns a closure building a random formula over nv
+// variables from a fixed op script, so it can be replayed on any
+// engine. ops: 0=And2 1=Or2 2=Xor 3=Not 4=And3.
+type formulaStep struct {
+	op      int
+	a, b, c int
+}
+
+func randomScript(rng *rand.Rand, nv, steps int) []formulaStep {
+	sc := make([]formulaStep, steps)
+	for i := range sc {
+		pool := nv + i // variables plus previous steps
+		sc[i] = formulaStep{
+			op: rng.Intn(5),
+			a:  rng.Intn(pool),
+			b:  rng.Intn(pool),
+			c:  rng.Intn(pool),
+		}
+	}
+	return sc
+}
+
+func runScriptManager(t *testing.T, m *Manager, sc []formulaStep, nv int) Node {
+	t.Helper()
+	vals := make([]Node, 0, nv+len(sc))
+	for i := 0; i < nv; i++ {
+		v, err := m.Var(i)
+		if err != nil {
+			t.Fatalf("Var(%d): %v", i, err)
+		}
+		vals = append(vals, v)
+	}
+	for _, st := range sc {
+		var r Node
+		var err error
+		switch st.op {
+		case 0:
+			r, err = m.And(vals[st.a], vals[st.b])
+		case 1:
+			r, err = m.Or(vals[st.a], vals[st.b])
+		case 2:
+			r, err = m.Xor(vals[st.a], vals[st.b])
+		case 3:
+			r, err = m.Not(vals[st.a])
+		default:
+			r, err = m.And(vals[st.a], vals[st.b], vals[st.c])
+		}
+		if err != nil {
+			t.Fatalf("script op %d: %v", st.op, err)
+		}
+		vals = append(vals, r)
+	}
+	return vals[len(vals)-1]
+}
+
+func runScriptWorker(w *Worker, sc []formulaStep, nv int) Node {
+	vals := make([]Node, 0, nv+len(sc))
+	for i := 0; i < nv; i++ {
+		vals = append(vals, w.Var(i))
+	}
+	for _, st := range sc {
+		var r Node
+		switch st.op {
+		case 0:
+			r = w.And(vals[st.a], vals[st.b])
+		case 1:
+			r = w.Or(vals[st.a], vals[st.b])
+		case 2:
+			r = w.Xor(vals[st.a], vals[st.b])
+		case 3:
+			r = w.Not(vals[st.a])
+		default:
+			r = w.And(vals[st.a], vals[st.b], vals[st.c])
+		}
+		vals = append(vals, r)
+	}
+	return vals[len(vals)-1]
+}
+
+// TestSharedMatchesManager replays random op scripts on the serial
+// engine and on a Shared arena hammered by several concurrent workers
+// running the same script. Canonicity requires every worker to end at
+// the exact same handle, and the function must agree with the serial
+// engine on every assignment.
+func TestSharedMatchesManager(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	const nv = 8
+	for trial := 0; trial < 30; trial++ {
+		sc := randomScript(rng, nv, 3+rng.Intn(40))
+		m := New(nv)
+		want := runScriptManager(t, m, sc, nv)
+
+		s := NewShared(nv, 0)
+		const workers = 8
+		got := make([]Node, workers)
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				w := s.NewWorker()
+				defer w.Close()
+				got[wi] = runScriptWorker(w, sc, nv)
+			}(wi)
+		}
+		wg.Wait()
+		for wi := 1; wi < workers; wi++ {
+			if got[wi] != got[0] {
+				t.Fatalf("trial %d: workers disagree on canonical handle: %d vs %d", trial, got[wi], got[0])
+			}
+		}
+		assign := make([]bool, nv)
+		for a := 0; a < 1<<nv; a++ {
+			for i := range assign {
+				assign[i] = a&(1<<i) != 0
+			}
+			if m.Eval(want, assign) != s.Eval(got[0], assign) {
+				t.Fatalf("trial %d: engines disagree at assignment %b", trial, a)
+			}
+		}
+		if ms, ss := m.Size(want), s.Size(got[0]); ms != ss {
+			t.Fatalf("trial %d: Size mismatch serial=%d shared=%d", trial, ms, ss)
+		}
+	}
+}
+
+// TestSharedGC verifies quiescent-point collection: dereferenced
+// diagrams are reclaimed, referenced ones survive and still evaluate,
+// and the unique table stays canonical after the rebuild.
+func TestSharedGC(t *testing.T) {
+	const nv = 10
+	s := NewShared(nv, 0)
+	w := s.NewWorker()
+
+	keep := w.Var(0)
+	for i := 1; i < nv; i++ {
+		keep = w.Xor(keep, w.Var(i))
+	}
+	s.Ref(keep)
+
+	// Build garbage: a chain of conjunctions, never referenced.
+	g := w.Var(0)
+	for i := 1; i < nv; i++ {
+		g = w.And(g, w.Or(w.Var(i), w.Var((i+3)%nv)))
+	}
+	liveBefore := s.Live()
+	w.Close() // quiesce the only worker
+	freed := s.GC()
+	if freed <= 0 {
+		t.Fatalf("GC freed %d, want > 0 (live before: %d)", freed, liveBefore)
+	}
+	if got := s.Live(); got != s.Size(keep) {
+		t.Fatalf("live %d after GC, want exactly the kept diagram %d", got, s.Size(keep))
+	}
+
+	// The kept parity function must still evaluate, and recreating it
+	// must hit the surviving nodes (canonical handles equal).
+	w2 := s.NewWorker()
+	defer w2.Close()
+	re := w2.Var(0)
+	for i := 1; i < nv; i++ {
+		re = w2.Xor(re, w2.Var(i))
+	}
+	if re != keep {
+		t.Fatalf("recreated function got handle %d, want %d", re, keep)
+	}
+	assign := make([]bool, nv)
+	for a := 0; a < 1<<nv; a += 37 {
+		par := false
+		for i := range assign {
+			assign[i] = a&(1<<i) != 0
+			par = par != assign[i]
+		}
+		if s.Eval(keep, assign) != par {
+			t.Fatalf("kept diagram corrupted at assignment %b", a)
+		}
+	}
+}
+
+// TestSharedNodeLimit checks that a worker operation overflowing the
+// node budget panics with the sentinel RecoverLimit converts to
+// ErrNodeLimit, from any of several concurrent workers.
+func TestSharedNodeLimit(t *testing.T) {
+	const nv = 16
+	s := NewShared(nv, 40)
+	errs := make([]error, 4)
+	var wg sync.WaitGroup
+	for wi := range errs {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := s.NewWorker()
+			defer w.Close()
+			defer RecoverLimit(&errs[wi])
+			f := w.Var(0)
+			for i := 1; i < nv; i++ {
+				f = w.Xor(f, w.Var(i))
+			}
+		}(wi)
+	}
+	wg.Wait()
+	var n int
+	for _, err := range errs {
+		if err != nil {
+			if !errors.Is(err, ErrNodeLimit) {
+				t.Fatalf("got %v, want ErrNodeLimit", err)
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no worker hit the 40-node budget building 16-var parity")
+	}
+	if !s.LimitExceeded() {
+		t.Fatal("LimitExceeded() = false after ErrNodeLimit")
+	}
+}
+
+// TestSharedNaryEdgeCases pins the n-ary normalization rules on the
+// worker API against the serial semantics.
+func TestSharedNaryEdgeCases(t *testing.T) {
+	s := NewShared(4, 0)
+	w := s.NewWorker()
+	defer w.Close()
+	a, b := w.Var(0), w.Var(1)
+	if got := w.And(); got != True {
+		t.Fatalf("And() = %d, want True", got)
+	}
+	if got := w.Or(); got != False {
+		t.Fatalf("Or() = %d, want False", got)
+	}
+	if got := w.And(a, w.Not(a)); got != False {
+		t.Fatalf("And(a,¬a) = %d, want False", got)
+	}
+	if got := w.Or(b, w.Not(b)); got != True {
+		t.Fatalf("Or(b,¬b) = %d, want True", got)
+	}
+	if got := w.And(a, a, b, True); got != w.And(a, b) {
+		t.Fatalf("duplicate/neutral operands not collapsed")
+	}
+	if got := w.Or(a, False, b, a); got != w.Or(a, b) {
+		t.Fatalf("duplicate/neutral operands not collapsed (Or)")
+	}
+	if got := w.Xor(a, a); got != False {
+		t.Fatalf("Xor(a,a) = %d, want False", got)
+	}
+}

@@ -1,0 +1,478 @@
+// Work-stealing parallel netlist compilation on the concurrent
+// bdd.Shared engine.
+//
+// The netlist becomes a task DAG: one task per gate, plus extra tasks
+// splitting wide And/Or fan-ins into balanced reduction subtrees (the
+// parallel counterpart of the serial engine's in-gate pairwise
+// rounds — safe because the diagrams are canonical, so re-associating
+// a conjunction cannot change the resulting node). Each pool worker
+// owns a deque: it pushes tasks it makes ready and pops them LIFO for
+// locality, stealing FIFO from other deques when its own runs dry.
+//
+// Reference counting mirrors the serial compiler per occurrence: a
+// finished task takes one reference per consumer ins-slot (plus one
+// for the root), and a consumer dereferences each of its ins after
+// use, so the shared arena's live set — and therefore its GC behavior
+// — matches the serial cone-by-cone discipline.
+//
+// Garbage collection needs the arena quiescent, so workers poll
+// Shared.NeedGC between tasks and rendezvous at a barrier: every
+// worker is either parked idle, finished, or paused in the barrier;
+// the last one to arrive runs Shared.GC and releases the rest.
+package compile
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"socyield/internal/bdd"
+	"socyield/internal/logic"
+)
+
+// ParallelStats reports what the work-stealing pool did during one
+// NetlistParallel run.
+type ParallelStats struct {
+	// Workers is the number of pool workers actually started (the
+	// requested count capped by the task count).
+	Workers int
+	// Tasks is the total number of DAG tasks (gates plus wide-fan-in
+	// reduction subtasks).
+	Tasks int
+	// Steals counts tasks taken from another worker's deque.
+	Steals int64
+}
+
+// fanChunk bounds the operand count handed to one n-ary apply task;
+// wider fan-ins are split into a tree of part-tasks so independent
+// subtrees reduce on different workers.
+const fanChunk = 16
+
+const (
+	tkVar int8 = iota
+	tkConst
+	tkNot
+	tkAnd
+	tkOr
+	tkXor
+)
+
+type ptask struct {
+	kind   int8
+	negate bool
+	level  int32 // variable level (tkVar) or constant value (tkConst)
+	ins    []int32
+	outs   []int32
+	// pending is the number of unfinished producers (atomic).
+	pending int32
+	result  bdd.Node
+}
+
+type deque struct {
+	mu  sync.Mutex
+	buf []int32
+}
+
+func (d *deque) push(tis ...int32) {
+	d.mu.Lock()
+	d.buf = append(d.buf, tis...)
+	d.mu.Unlock()
+}
+
+func (d *deque) popTail() (int32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.buf)
+	if n == 0 {
+		return 0, false
+	}
+	ti := d.buf[n-1]
+	d.buf = d.buf[:n-1]
+	return ti, true
+}
+
+func (d *deque) popHead() (int32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.buf) == 0 {
+		return 0, false
+	}
+	ti := d.buf[0]
+	d.buf = d.buf[1:]
+	return ti, true
+}
+
+func (d *deque) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.buf)
+}
+
+type cpool struct {
+	s          *bdd.Shared
+	tasks      []ptask
+	root       int32
+	deques     []deque
+	operandBuf [][]bdd.Node
+	steals     atomic.Int64
+	remaining  atomic.Int64
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	done   bool
+	err    error
+	gcWant bool
+	gcGen  int
+	paused int
+	idle   int
+	alive  int
+}
+
+type taskBuilder struct {
+	tasks  []ptask
+	byGate map[logic.GateID]int32
+}
+
+func (tb *taskBuilder) add(kind int8, negate bool, level int32, ins []int32) int32 {
+	tb.tasks = append(tb.tasks, ptask{kind: kind, negate: negate, level: level, ins: ins})
+	return int32(len(tb.tasks) - 1)
+}
+
+func (tb *taskBuilder) gather(fanin []logic.GateID) []int32 {
+	ins := make([]int32, len(fanin))
+	for i, f := range fanin {
+		ins[i] = tb.byGate[f]
+	}
+	return ins
+}
+
+// reduceWide builds a balanced tree of part-tasks over a wide fan-in.
+// Canonicity makes the re-association safe: every grouping computes
+// the same function, hence the same canonical diagram.
+func (tb *taskBuilder) reduceWide(kind int8, negate bool, ins []int32) int32 {
+	for len(ins) > fanChunk {
+		next := make([]int32, 0, (len(ins)+fanChunk-1)/fanChunk)
+		for i := 0; i < len(ins); i += fanChunk {
+			j := i + fanChunk
+			if j > len(ins) {
+				j = len(ins)
+			}
+			if j-i == 1 {
+				next = append(next, ins[i])
+				continue
+			}
+			sub := make([]int32, j-i)
+			copy(sub, ins[i:j])
+			next = append(next, tb.add(kind, false, 0, sub))
+		}
+		ins = next
+	}
+	return tb.add(kind, negate, 0, ins)
+}
+
+// NetlistParallel compiles the output cone of n into an ROBDD on the
+// shared arena s, dispatching independent gates (and the reduction
+// rounds inside wide fan-ins) across a pool of workers. levels has
+// the same contract as Netlist. The returned root carries one external
+// reference. The result is the exact node Netlist would produce on a
+// serial manager with the same variable order — only arena slot
+// numbering differs.
+//
+// On error the arena is left with the in-flight intermediates still
+// referenced; callers discard the whole Shared, as the serial pipeline
+// discards its Manager.
+func NetlistParallel(s *bdd.Shared, n *logic.Netlist, levels []int, workers int) (bdd.Node, ParallelStats, error) {
+	out, ok := n.Output()
+	if !ok {
+		return bdd.False, ParallelStats{}, logic.ErrNoOutput
+	}
+	if len(levels) < n.NumInputs() {
+		return bdd.False, ParallelStats{}, fmt.Errorf("compile: levels has %d entries, want %d", len(levels), n.NumInputs())
+	}
+	tb := &taskBuilder{byGate: make(map[logic.GateID]int32, n.NumNodes())}
+	var verr error
+	err := n.VisitDepthFirst(func(id logic.GateID, g logic.Gate) {
+		if verr != nil {
+			return
+		}
+		var ti int32
+		switch g.Kind {
+		case logic.InputKind:
+			lv := levels[n.InputOrdinal(id)]
+			if lv < 0 || lv >= s.NumVars() {
+				verr = fmt.Errorf("compile: input level %d out of range [0,%d)", lv, s.NumVars())
+				return
+			}
+			ti = tb.add(tkVar, false, int32(lv), nil)
+		case logic.ConstKind:
+			var v int32
+			if g.Value {
+				v = 1
+			}
+			ti = tb.add(tkConst, false, v, nil)
+		case logic.NotKind:
+			ti = tb.add(tkNot, false, 0, tb.gather(g.Fanin))
+		case logic.AndKind, logic.NandKind:
+			ti = tb.reduceWide(tkAnd, g.Kind == logic.NandKind, tb.gather(g.Fanin))
+		case logic.OrKind, logic.NorKind:
+			ti = tb.reduceWide(tkOr, g.Kind == logic.NorKind, tb.gather(g.Fanin))
+		case logic.XorKind, logic.XnorKind:
+			ti = tb.add(tkXor, g.Kind == logic.XnorKind, 0, tb.gather(g.Fanin))
+		default:
+			verr = fmt.Errorf("compile: gate %d has unknown kind %v", id, g.Kind)
+			return
+		}
+		tb.byGate[id] = ti
+	})
+	if err != nil {
+		return bdd.False, ParallelStats{}, err
+	}
+	if verr != nil {
+		return bdd.False, ParallelStats{}, verr
+	}
+
+	tasks := tb.tasks
+	for ti := range tasks {
+		t := &tasks[ti]
+		t.pending = int32(len(t.ins))
+		for _, in := range t.ins {
+			tasks[in].outs = append(tasks[in].outs, int32(ti))
+		}
+	}
+
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	p := &cpool{
+		s:          s,
+		tasks:      tasks,
+		root:       tb.byGate[out],
+		deques:     make([]deque, workers),
+		operandBuf: make([][]bdd.Node, workers),
+		alive:      workers,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.remaining.Store(int64(len(tasks)))
+	seed := 0
+	for ti := range tasks {
+		if tasks[ti].pending == 0 {
+			p.deques[seed%workers].push(int32(ti))
+			seed++
+		}
+	}
+
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go p.run(wi, &wg)
+	}
+	wg.Wait()
+
+	st := ParallelStats{Workers: workers, Tasks: len(tasks), Steals: p.steals.Load()}
+	if p.err != nil {
+		return bdd.False, st, p.err
+	}
+	return p.tasks[p.root].result, st, nil
+}
+
+func (p *cpool) run(wi int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	w := p.s.NewWorker()
+	defer w.Close()
+	for {
+		ti := p.acquire(wi)
+		if ti < 0 {
+			break
+		}
+		var err error
+		func() {
+			defer bdd.RecoverLimit(&err)
+			p.exec(wi, w, ti)
+		}()
+		if err != nil {
+			p.fail(err)
+			break
+		}
+		if p.s.NeedGC() {
+			p.requestGC()
+		}
+	}
+	p.mu.Lock()
+	p.alive--
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *cpool) exec(wi int, w *bdd.Worker, ti int32) {
+	t := &p.tasks[ti]
+	var r bdd.Node
+	switch t.kind {
+	case tkVar:
+		r = w.Var(int(t.level))
+	case tkConst:
+		r = bdd.False
+		if t.level != 0 {
+			r = bdd.True
+		}
+	case tkNot:
+		r = w.Not(p.tasks[t.ins[0]].result)
+	case tkAnd, tkOr:
+		ops := p.operandBuf[wi][:0]
+		for _, in := range t.ins {
+			ops = append(ops, p.tasks[in].result)
+		}
+		p.operandBuf[wi] = ops
+		if t.kind == tkAnd {
+			r = w.And(ops...)
+		} else {
+			r = w.Or(ops...)
+		}
+	case tkXor:
+		r = bdd.False
+		for _, in := range t.ins {
+			r = w.Xor(r, p.tasks[in].result)
+		}
+	}
+	if t.negate {
+		r = w.Not(r)
+	}
+	// One reference per consumer ins-slot (duplicate fan-ins count per
+	// occurrence), plus one the driver hands to the caller for the root.
+	rc := int32(len(t.outs))
+	if ti == p.root {
+		rc++
+	}
+	p.s.RefN(r, rc)
+	t.result = r
+	for _, in := range t.ins {
+		p.s.Deref(p.tasks[in].result)
+	}
+	var ready []int32
+	for _, o := range t.outs {
+		if atomic.AddInt32(&p.tasks[o].pending, -1) == 0 {
+			ready = append(ready, o)
+		}
+	}
+	if len(ready) > 0 {
+		p.deques[wi].push(ready...)
+		p.mu.Lock()
+		if p.idle > 0 {
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+	if p.remaining.Add(-1) == 0 {
+		p.mu.Lock()
+		p.done = true
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// acquire returns the next task index for worker wi, parking the
+// worker when no work is available anywhere, or -1 once the pool is
+// done (all tasks finished, or failed).
+func (p *cpool) acquire(wi int) int32 {
+	for {
+		p.mu.Lock()
+		done, gcw := p.done, p.gcWant
+		p.mu.Unlock()
+		if done {
+			return -1
+		}
+		if gcw {
+			p.barrier()
+			continue
+		}
+		if ti, ok := p.deques[wi].popTail(); ok {
+			return ti
+		}
+		for off := 1; off < len(p.deques); off++ {
+			if ti, ok := p.deques[(wi+off)%len(p.deques)].popHead(); ok {
+				p.steals.Add(1)
+				return ti
+			}
+		}
+		p.mu.Lock()
+		if p.done {
+			p.mu.Unlock()
+			return -1
+		}
+		if p.gcWant {
+			p.mu.Unlock()
+			p.barrier()
+			continue
+		}
+		if p.anyWork() {
+			p.mu.Unlock()
+			continue
+		}
+		p.idle++
+		p.cond.Wait()
+		p.idle--
+		p.mu.Unlock()
+	}
+}
+
+// anyWork rechecks every deque under p.mu so a push that raced with
+// the lock-free scan cannot be missed: pushers broadcast under p.mu
+// after pushing, and we hold p.mu from this check through cond.Wait.
+func (p *cpool) anyWork() bool {
+	for i := range p.deques {
+		if p.deques[i].size() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *cpool) requestGC() {
+	p.mu.Lock()
+	if !p.done {
+		p.gcWant = true
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	p.barrier()
+}
+
+// barrier is the quiescent rendezvous for garbage collection. A
+// worker is quiesced when it is paused here, parked idle (it holds no
+// operation in flight and cannot leave the idle wait without taking
+// p.mu, which the collector holds throughout), or exited. The worker
+// completing that census runs the collection itself and releases the
+// generation.
+func (p *cpool) barrier() {
+	p.mu.Lock()
+	if !p.gcWant || p.done {
+		p.mu.Unlock()
+		return
+	}
+	gen := p.gcGen
+	p.paused++
+	for p.gcGen == gen && p.gcWant && !p.done {
+		if p.paused+p.idle == p.alive {
+			p.s.GC()
+			p.gcWant = false
+			p.gcGen++
+			p.cond.Broadcast()
+			break
+		}
+		p.cond.Wait()
+	}
+	p.paused--
+	p.mu.Unlock()
+}
+
+func (p *cpool) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.done = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

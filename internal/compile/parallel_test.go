@@ -1,0 +1,172 @@
+package compile
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"socyield/internal/bdd"
+	"socyield/internal/logic"
+)
+
+var workerCounts = []int{1, 2, 4, 8}
+
+// checkParallelAgainstSerial compiles n both ways and requires the
+// same function (every assignment), the same diagram size, and a
+// leak-free shared arena.
+func checkParallelAgainstSerial(t *testing.T, n *logic.Netlist, k int, levels []int, workers int) {
+	t.Helper()
+	m := bdd.New(k)
+	sroot, err := Netlist(m, n, levels)
+	if err != nil {
+		t.Fatalf("serial Netlist: %v", err)
+	}
+	defer m.Deref(sroot)
+
+	s := bdd.NewShared(k, 0)
+	proot, st, err := NetlistParallel(s, n, levels, workers)
+	if err != nil {
+		t.Fatalf("NetlistParallel(workers=%d): %v", workers, err)
+	}
+	if st.Workers < 1 || st.Workers > workers || st.Tasks < 1 {
+		t.Fatalf("implausible stats %+v (requested %d workers)", st, workers)
+	}
+	byLevel := make([]bool, k)
+	in := make([]bool, k)
+	for mask := 0; mask < 1<<k; mask++ {
+		for i := 0; i < k; i++ {
+			in[i] = mask&(1<<i) != 0
+			byLevel[levels[i]] = in[i]
+		}
+		want, err := n.Eval(in)
+		if err != nil {
+			t.Fatalf("netlist Eval: %v", err)
+		}
+		if got := s.Eval(proot, byLevel); got != want {
+			t.Fatalf("workers=%d mask=%b: parallel %v, netlist %v", workers, mask, got, want)
+		}
+	}
+	if ss, ps := m.Size(sroot), s.Size(proot); ss != ps {
+		t.Fatalf("workers=%d: diagram size %d (parallel) != %d (serial)", workers, ps, ss)
+	}
+	s.Deref(proot)
+	s.GC()
+	if live := s.Live(); live != 1 {
+		t.Fatalf("workers=%d: %d live nodes after root Deref + GC, want 1 (reference leak)", workers, live)
+	}
+}
+
+func TestParallelMatchesSerialRandom(t *testing.T) {
+	const k = 5
+	rng := rand.New(rand.NewSource(20260808))
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := randomNetlist(rng, k)
+		levels := rng.Perm(k)
+		for _, workers := range workerCounts {
+			checkParallelAgainstSerial(t, n, k, levels, workers)
+		}
+	}
+}
+
+// TestParallelWideFanin exercises the reduceWide splitting: fan-ins
+// far beyond fanChunk, including duplicate operands, on And/Or/Nand
+// and a threshold built from wide gates.
+func TestParallelWideFanin(t *testing.T) {
+	const k = 10
+	n := logic.New()
+	xs := make([]logic.GateID, 0, 3*fanChunk+5)
+	ins := make([]logic.GateID, k)
+	for i := range ins {
+		ins[i] = n.Input(fmt.Sprintf("x%d", i))
+	}
+	for i := 0; i < cap(xs); i++ {
+		xs = append(xs, ins[i%k]) // duplicates on purpose
+	}
+	wideOr := n.Or(xs...)
+	wideAnd := n.And(xs...)
+	n.SetOutput(n.Xor(n.Nand(xs...), n.And(wideOr, n.AtLeast(k/2, ins...), n.Not(wideAnd))))
+	for _, workers := range workerCounts {
+		checkParallelAgainstSerial(t, n, k, identityLevels(k), workers)
+	}
+}
+
+func TestParallelNodeLimit(t *testing.T) {
+	n := logic.New()
+	const k = 12
+	xs := make([]logic.GateID, k)
+	for i := range xs {
+		xs[i] = n.Input(fmt.Sprintf("x%d", i))
+	}
+	n.SetOutput(n.AtLeast(k/2, xs...))
+	for _, workers := range workerCounts {
+		s := bdd.NewShared(k, 10)
+		_, _, err := NetlistParallel(s, n, identityLevels(k), workers)
+		if !errors.Is(err, bdd.ErrNodeLimit) {
+			t.Fatalf("workers=%d: err = %v, want ErrNodeLimit", workers, err)
+		}
+	}
+}
+
+func TestParallelErrors(t *testing.T) {
+	n := logic.New()
+	n.Input("a")
+	s := bdd.NewShared(1, 0)
+	if _, _, err := NetlistParallel(s, n, identityLevels(1), 4); err != logic.ErrNoOutput {
+		t.Errorf("no output: err = %v", err)
+	}
+	n.SetOutput(n.Input("a"))
+	if _, _, err := NetlistParallel(s, n, nil, 4); err == nil {
+		t.Error("short levels accepted")
+	}
+	if _, _, err := NetlistParallel(s, n, []int{5}, 4); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+}
+
+func TestParallelConstOutput(t *testing.T) {
+	n := logic.New()
+	a := n.Input("a")
+	n.SetOutput(n.Or(a, n.Not(a))) // tautology
+	s := bdd.NewShared(1, 0)
+	root, _, err := NetlistParallel(s, n, identityLevels(1), 4)
+	if err != nil {
+		t.Fatalf("NetlistParallel: %v", err)
+	}
+	if root != bdd.True {
+		t.Errorf("tautology compiled to %d, want True", root)
+	}
+}
+
+// TestParallelGCUnderPressure forces many in-build collections by
+// keeping the auto-GC threshold at its initial value relative to a
+// model that needs far more transient nodes.
+func TestParallelGCUnderPressure(t *testing.T) {
+	n := logic.New()
+	const k = 16
+	xs := make([]logic.GateID, k)
+	for i := range xs {
+		xs[i] = n.Input(fmt.Sprintf("x%d", i))
+	}
+	n.SetOutput(n.Xor(n.AtLeast(k/2, xs...), n.AtLeast(k/3, xs...)))
+	m := bdd.New(k)
+	sroot, err := Netlist(m, n, identityLevels(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Size(sroot)
+	for _, workers := range workerCounts {
+		s := bdd.NewShared(k, 0)
+		root, _, err := NetlistParallel(s, n, identityLevels(k), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := s.Size(root); got != want {
+			t.Fatalf("workers=%d: size %d, want %d", workers, got, want)
+		}
+	}
+}

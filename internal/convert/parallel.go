@@ -1,0 +1,234 @@
+// Layer-parallel coded-ROBDD → ROMDD conversion.
+//
+// The recursion in ToMDD has a natural layer structure: every entry
+// node of one MV layer converts independently of the others once the
+// layers below it are mapped. ToMDDParallel exploits exactly that —
+// fan out over the entry nodes within one layer, barrier between
+// layers — in two passes:
+//
+//  1. Discovery, top-down: starting from the root's layer, simulate
+//     every (entry node, domain value) codeword in parallel and record
+//     the distinct entry nodes it exposes in deeper layers (an atomic
+//     bitset dedupes; targets always lie in strictly deeper layers, so
+//     a layer's entry set is complete before the layer is processed).
+//  2. Build, bottom-up: for each layer, re-run the same simulations in
+//     parallel to fill a flat kids table, then create the layer's ROMDD
+//     nodes. Node creation goes through the MDD unique table, which is
+//     not concurrency-safe, so that final per-layer loop stays serial —
+//     an acceptable Amdahl tail, since the simulations dominate.
+//
+// Re-simulating in pass 2 trades CPU (the simulations run twice) for
+// memory: storing every pass-1 target would cost entries × domain
+// words across all layers, which is prohibitive for MS19-class models.
+//
+// The result is the same ROMDD ToMDD builds — same structure, same
+// per-layer entry counts, same root function — because both visit the
+// same entry-node sets and create nodes through the same reducing
+// unique table. Only the MDD manager's internal node numbering can
+// differ, and nothing downstream (Prob, ComputeStats, Freeze) depends
+// on it.
+package convert
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"socyield/internal/bdd"
+	"socyield/internal/mdd"
+)
+
+// Source is the read-only coded-ROBDD view the conversion needs. Both
+// the serial *bdd.Manager and the concurrent *bdd.Shared satisfy it.
+type Source interface {
+	NumVars() int
+	Level(n bdd.Node) int
+	Lo(n bdd.Node) bdd.Node
+	Hi(n bdd.Node) bdd.Node
+	IsTerminal(n bdd.Node) bool
+	NodeBound() int
+}
+
+var (
+	_ Source = (*bdd.Manager)(nil)
+	_ Source = (*bdd.Shared)(nil)
+)
+
+// simulateOn is simulate for any Source.
+func simulateOn(bm Source, s *Spec, n bdd.Node, g int, value int, steps *int64) bdd.Node {
+	for !bm.IsTerminal(n) && s.LevelGroup[bm.Level(n)] == g {
+		if steps != nil {
+			*steps++
+		}
+		if value&(1<<s.LevelBit[bm.Level(n)]) != 0 {
+			n = bm.Hi(n)
+		} else {
+			n = bm.Lo(n)
+		}
+	}
+	return n
+}
+
+// parallelRanges splits [0,n) into one contiguous range per worker and
+// runs fn on each concurrently. Small inputs run inline on the calling
+// goroutine. Static partitioning keeps every per-worker result
+// deterministic for a fixed worker count.
+func parallelRanges(n, workers int, fn func(w, lo, hi int)) {
+	const minPerWorker = 16
+	if workers > n/minPerWorker {
+		workers = n / minPerWorker
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// testAndSet atomically sets the bit for handle n, reporting whether
+// this call was the one that set it.
+func testAndSet(bits []uint32, n bdd.Node) bool {
+	w := &bits[n>>5]
+	mask := uint32(1) << (uint32(n) & 31)
+	for {
+		old := atomic.LoadUint32(w)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(w, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// ToMDDParallel converts the coded ROBDD rooted at root in bm into an
+// ROMDD in mm using up to workers goroutines per layer. It builds the
+// exact ROMDD ToMDD builds — identical structure, entry-node counts,
+// and probabilities — for every worker count; workers ≤ 1 degrades to
+// the two-pass algorithm on one goroutine. bm must not be mutated
+// during the conversion. st, when non-nil, receives the same per-layer
+// statistics ToMDDWithStats records: SimSteps counts the simulations
+// feeding node construction (the discovery prepass re-runs the same
+// simulations and is deliberately not double-counted, so the figure is
+// comparable with the serial converter's).
+func ToMDDParallel(bm Source, root bdd.Node, mm *mdd.Manager, spec Spec, workers int, st *Stats) (mdd.Node, error) {
+	if err := spec.Validate(); err != nil {
+		return mdd.False, err
+	}
+	if len(spec.LevelGroup) != bm.NumVars() {
+		return mdd.False, fmt.Errorf("convert: spec covers %d binary levels, manager has %d", len(spec.LevelGroup), bm.NumVars())
+	}
+	if mm.NumVars() != len(spec.Domains) {
+		return mdd.False, fmt.Errorf("convert: MDD manager has %d variables, spec %d", mm.NumVars(), len(spec.Domains))
+	}
+	for g, d := range spec.Domains {
+		if mm.Domain(g) != d {
+			return mdd.False, fmt.Errorf("convert: MDD domain %d is %d, spec wants %d", g, mm.Domain(g), d)
+		}
+	}
+	if st != nil {
+		st.EntryNodes = make([]int64, len(spec.Domains))
+	}
+	if root == bdd.False {
+		return mdd.False, nil
+	}
+	if root == bdd.True {
+		return mdd.True, nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	G := len(spec.Domains)
+	bound := bm.NodeBound()
+
+	// Pass 1: discover each layer's entry nodes top-down.
+	visited := make([]uint32, (bound+31)/32)
+	layers := make([][]bdd.Node, G)
+	rg := spec.LevelGroup[bm.Level(root)]
+	testAndSet(visited, root)
+	layers[rg] = []bdd.Node{root}
+	for g := rg; g < G; g++ {
+		entries := layers[g]
+		if len(entries) == 0 {
+			continue
+		}
+		D := spec.Domains[g]
+		nw := workers
+		perWorker := make([][][]bdd.Node, nw)
+		parallelRanges(len(entries), nw, func(w, lo, hi int) {
+			locals := make([][]bdd.Node, G)
+			for i := lo; i < hi; i++ {
+				for val := 0; val < D; val++ {
+					t := simulateOn(bm, &spec, entries[i], g, val, nil)
+					if t == bdd.False || t == bdd.True {
+						continue
+					}
+					if testAndSet(visited, t) {
+						tg := spec.LevelGroup[bm.Level(t)]
+						locals[tg] = append(locals[tg], t)
+					}
+				}
+			}
+			perWorker[w] = locals
+		})
+		for _, locals := range perWorker {
+			for tg, nodes := range locals {
+				layers[tg] = append(layers[tg], nodes...)
+			}
+		}
+	}
+
+	// Pass 2: build each layer bottom-up — parallel simulations into a
+	// flat kids table, then serial node creation.
+	memo := make([]mdd.Node, bound)
+	stepCounts := make([]int64, workers)
+	for g := G - 1; g >= rg; g-- {
+		entries := layers[g]
+		if len(entries) == 0 {
+			continue
+		}
+		if st != nil {
+			st.EntryNodes[g] = int64(len(entries))
+		}
+		D := spec.Domains[g]
+		kids := make([]mdd.Node, len(entries)*D)
+		parallelRanges(len(entries), workers, func(w, lo, hi int) {
+			steps := &stepCounts[w]
+			for i := lo; i < hi; i++ {
+				for val := 0; val < D; val++ {
+					t := simulateOn(bm, &spec, entries[i], g, val, steps)
+					switch t {
+					case bdd.False:
+						kids[i*D+val] = mdd.False
+					case bdd.True:
+						kids[i*D+val] = mdd.True
+					default:
+						kids[i*D+val] = memo[t]
+					}
+				}
+			}
+		})
+		for i, n := range entries {
+			r, err := mm.MkNode(g, kids[i*D:(i+1)*D])
+			if err != nil {
+				return mdd.False, err
+			}
+			memo[n] = r
+		}
+	}
+	if st != nil {
+		for _, s := range stepCounts {
+			st.SimSteps += s
+		}
+	}
+	return memo[root], nil
+}

@@ -1,0 +1,130 @@
+package convert
+
+import (
+	"math/rand"
+	"testing"
+
+	"socyield/internal/bdd"
+	"socyield/internal/compile"
+	"socyield/internal/logic"
+	"socyield/internal/mdd"
+	"socyield/internal/order"
+)
+
+// TestToMDDParallelMatchesSerial converts the same coded ROBDD with
+// the serial recursion and with the layer-parallel converter at
+// several worker counts — into the same MDD manager, so equal ROMDD
+// structure means equal root handles — and requires identical
+// per-layer statistics.
+func TestToMDDParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	trials := 20
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		c := 3 + rng.Intn(4)
+		f := randomMonotoneFaultTree(rng, c)
+		m := 2 + rng.Intn(3)
+		mvKinds := []order.MVKind{order.MVWeight, order.MVWV, order.MVTopology}
+		p := buildPipeline(t, f, m, mvKinds[rng.Intn(len(mvKinds))], order.BitML)
+
+		mm, err := mdd.New(p.spec.Domains)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sst Stats
+		sroot, err := ToMDDWithStats(p.bm, p.root, mm, p.spec, &sst)
+		if err != nil {
+			t.Fatalf("serial ToMDD: %v", err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			var pst Stats
+			proot, err := ToMDDParallel(p.bm, p.root, mm, p.spec, workers, &pst)
+			if err != nil {
+				t.Fatalf("ToMDDParallel(workers=%d): %v", workers, err)
+			}
+			if proot != sroot {
+				t.Fatalf("trial %d workers=%d: parallel root %d != serial root %d", trial, workers, proot, sroot)
+			}
+			if len(pst.EntryNodes) != len(sst.EntryNodes) {
+				t.Fatalf("EntryNodes length %d != %d", len(pst.EntryNodes), len(sst.EntryNodes))
+			}
+			for g := range sst.EntryNodes {
+				if pst.EntryNodes[g] != sst.EntryNodes[g] {
+					t.Fatalf("trial %d workers=%d: EntryNodes[%d] = %d, serial %d", trial, workers, g, pst.EntryNodes[g], sst.EntryNodes[g])
+				}
+			}
+			if pst.SimSteps != sst.SimSteps {
+				t.Fatalf("trial %d workers=%d: SimSteps = %d, serial %d", trial, workers, pst.SimSteps, sst.SimSteps)
+			}
+		}
+	}
+}
+
+// TestToMDDParallelFromShared runs the conversion against the
+// concurrent engine as Source: compile the same netlist serially and
+// in parallel, convert both into one MDD manager, and require the same
+// ROMDD root.
+func TestToMDDParallelFromShared(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		f := randomMonotoneFaultTree(rng, 3+rng.Intn(3))
+		p := buildPipeline(t, f, 3, order.MVWeight, order.BitML)
+
+		s := bdd.NewShared(p.g.Netlist.NumInputs(), 0)
+		proot, _, err := compile.NetlistParallel(s, p.g.Netlist, p.plan.BinaryLevels, 4)
+		if err != nil {
+			t.Fatalf("NetlistParallel: %v", err)
+		}
+		mm, err := mdd.New(p.spec.Domains)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ToMDD(p.bm, p.root, mm, p.spec)
+		if err != nil {
+			t.Fatalf("serial ToMDD: %v", err)
+		}
+		got, err := ToMDDParallel(s, proot, mm, p.spec, 4, nil)
+		if err != nil {
+			t.Fatalf("ToMDDParallel: %v", err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: ROMDD from shared engine %d != serial %d", trial, got, want)
+		}
+	}
+}
+
+// TestToMDDParallelTerminals covers constant roots and validation.
+func TestToMDDParallelTerminals(t *testing.T) {
+	f := logic.New()
+	a := f.Input("a")
+	f.SetOutput(f.Or(a, f.Not(a)))
+	spec := Spec{LevelGroup: []int{0, 0}, LevelBit: []uint{1, 0}, Domains: []int{3}}
+	bm := bdd.New(2)
+	mm, err := mdd.New(spec.Domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, root := range []bdd.Node{bdd.False, bdd.True} {
+		got, err := ToMDDParallel(bm, root, mm, spec, 4, &Stats{})
+		if err != nil {
+			t.Fatalf("terminal root: %v", err)
+		}
+		want := mdd.Node(mdd.False)
+		if root == bdd.True {
+			want = mdd.True
+		}
+		if got != want {
+			t.Fatalf("terminal root %d converted to %d, want %d", root, got, want)
+		}
+	}
+	// Mismatched manager must be rejected exactly as in ToMDD.
+	bad, err := mdd.New([]int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ToMDDParallel(bm, bdd.False, bad, spec, 4, nil); err == nil {
+		t.Fatal("manager/spec mismatch accepted")
+	}
+}

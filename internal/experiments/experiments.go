@@ -88,6 +88,12 @@ type Config struct {
 	// node budget: it applies per case, so W concurrent cases can hold
 	// W × NodeLimit nodes at peak.
 	Workers int
+	// BuildWorkers is the worker count for each case's decision-diagram
+	// build (yield.Options.BuildWorkers): 0 defaults to GOMAXPROCS, 1
+	// forces the serial reference engine. Every row is bit-identical
+	// for every value; it composes with Workers (W cases × B build
+	// workers can keep W×B goroutines busy).
+	BuildWorkers int
 	// Recorder, when non-nil, instruments every evaluation the table
 	// drivers run: engine counters accumulate across cases, gauges
 	// reflect the last case finished. The registry is concurrency-safe,
@@ -259,7 +265,7 @@ func Table2(cases []Case, cfg Config) ([]Table2Row, error) {
 			res, err := yield.Evaluate(sys, yield.Options{
 				Defects: dist, Epsilon: cfg.Epsilon,
 				MVOrder: mv, BitOrder: order.BitML,
-				NodeLimit: cfg.limit(defaultOrderingNodeLimit), Recorder: cfg.Recorder,
+				NodeLimit: cfg.limit(defaultOrderingNodeLimit), BuildWorkers: cfg.BuildWorkers, Recorder: cfg.Recorder,
 			})
 			switch {
 			case err == nil:
@@ -305,7 +311,7 @@ func Table3(cases []Case, cfg Config) ([]Table3Row, error) {
 			res, err := yield.Evaluate(sys, yield.Options{
 				Defects: dist, Epsilon: cfg.Epsilon,
 				MVOrder: order.MVWeight, BitOrder: bk,
-				NodeLimit: cfg.limit(defaultPerfNodeLimit), Recorder: cfg.Recorder,
+				NodeLimit: cfg.limit(defaultPerfNodeLimit), BuildWorkers: cfg.BuildWorkers, Recorder: cfg.Recorder,
 			})
 			switch {
 			case err == nil:
@@ -363,7 +369,7 @@ func Table4(cases []Case, cfg Config) ([]Table4Row, error) {
 		res, err := yield.Evaluate(sys, yield.Options{
 			Defects: dist, Epsilon: cfg.Epsilon,
 			MVOrder: order.MVWeight, BitOrder: order.BitML,
-			NodeLimit: cfg.limit(defaultPerfNodeLimit), Recorder: cfg.Recorder,
+			NodeLimit: cfg.limit(defaultPerfNodeLimit), BuildWorkers: cfg.BuildWorkers, Recorder: cfg.Recorder,
 		})
 		row := Table4Row{Case: cs, CPU: time.Since(start)}
 		if paper, ok := paperTable4[cs]; ok {
@@ -417,7 +423,7 @@ func AblationDirectMDD(cases []Case, cfg Config) ([]AblationRow, error) {
 		opts := yield.Options{
 			Defects: dist, Epsilon: cfg.Epsilon,
 			MVOrder: order.MVWeight, BitOrder: order.BitML,
-			NodeLimit: cfg.limit(defaultPerfNodeLimit), Recorder: cfg.Recorder,
+			NodeLimit: cfg.limit(defaultPerfNodeLimit), BuildWorkers: cfg.BuildWorkers, Recorder: cfg.Recorder,
 		}
 		start := time.Now()
 		viaCoded, err := yield.Evaluate(sys, opts)
@@ -478,7 +484,7 @@ func BaselineMonteCarlo(cases []Case, samples int, cfg Config) ([]BaselineRow, e
 		}
 		start := time.Now()
 		exact, err := yield.Evaluate(sys, yield.Options{
-			Defects: dist, Epsilon: cfg.Epsilon, NodeLimit: cfg.limit(defaultPerfNodeLimit), Recorder: cfg.Recorder,
+			Defects: dist, Epsilon: cfg.Epsilon, NodeLimit: cfg.limit(defaultPerfNodeLimit), BuildWorkers: cfg.BuildWorkers, Recorder: cfg.Recorder,
 		})
 		if err != nil {
 			return BaselineRow{}, fmt.Errorf("%v: %w", cs, err)

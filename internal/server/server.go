@@ -60,6 +60,12 @@ type Config struct {
 	// SweepWorkers caps the worker pool a /v1/sweep request may ask
 	// for (default GOMAXPROCS).
 	SweepWorkers int
+	// BuildWorkers is the worker count for compiling a model's decision
+	// diagrams (yield.Options.BuildWorkers). 0 defaults to GOMAXPROCS;
+	// 1 forces the serial reference engine. Results are bit-identical
+	// for every value, so this is purely a latency knob for cache
+	// misses.
+	BuildWorkers int
 	// MaxSweepPoints bounds the grid size of one sweep request
 	// (default 4096).
 	MaxSweepPoints int
@@ -95,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SweepWorkers <= 0 {
 		c.SweepWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.BuildWorkers <= 0 {
+		c.BuildWorkers = runtime.GOMAXPROCS(0)
 	}
 	if c.MaxSweepPoints <= 0 {
 		c.MaxSweepPoints = 4096

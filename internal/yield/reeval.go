@@ -4,9 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"socyield/internal/bdd"
-	"socyield/internal/compile"
-	"socyield/internal/convert"
 	"socyield/internal/defects"
 	"socyield/internal/encode"
 	"socyield/internal/mdd"
@@ -77,47 +74,9 @@ func NewReevaluator(sys *System, opts Options) (*Reevaluator, error) {
 		return nil, err
 	}
 
-	sp = buildSpan.Child("compile")
-	t0 = time.Now()
-	bm := bdd.New(g.Netlist.NumInputs(), p.opts.bddManagerOptions()...)
-	root, err := compile.Netlist(bm, g.Netlist, plan.BinaryLevels)
-	res.Phases.Compile = time.Since(t0)
-	sp.End()
-	res.Stats.BDD = bm.Stats()
-	res.Stats.CompilePeakLive = bm.ResetPeakLive()
-	res.ROBDDPeak = res.Stats.CompilePeakLive
-	if err != nil {
-		return nil, fmt.Errorf("yield: compiling coded ROBDD: %w", err)
-	}
-	res.CodedROBDDSize = bm.Size(root)
-	groupOf, bitOf := groupMeta(g)
-	spec, err := convert.SpecFromPlanLevels(plan.BinaryLevels, groupOf, bitOf, plan.GroupSeq, g.Domains())
+	mm, mroot, err := p.buildModel(buildSpan, g, plan, res)
 	if err != nil {
 		return nil, err
-	}
-
-	sp = buildSpan.Child("convert")
-	t0 = time.Now()
-	mm, err := mdd.New(spec.Domains, mdd.WithNodeLimit(p.opts.NodeLimit))
-	if err != nil {
-		sp.End()
-		return nil, err
-	}
-	mroot, err := convert.ToMDDWithStats(bm, root, mm, spec, &res.Stats.Convert)
-	res.Phases.Convert = time.Since(t0)
-	sp.End()
-	res.Stats.MDD = mm.BuildStats()
-	res.Stats.ConvertPeakLive = bm.PeakLive()
-	res.ROBDDPeak = max(res.ROBDDPeak, res.Stats.ConvertPeakLive)
-	if err != nil {
-		return nil, fmt.Errorf("yield: converting to ROMDD: %w", err)
-	}
-	ms := mm.ComputeStats(mroot)
-	res.ROMDDSize = ms.Nodes
-	res.Stats.ROMDDPerLevel = ms.PerLevel
-	res.Stats.ROMDDMaxWidth = ms.MaxWidth
-	if res.ROMDDSize > 0 {
-		res.Stats.ROBDDToROMDDRatio = float64(res.CodedROBDDSize) / float64(res.ROMDDSize)
 	}
 
 	// Freeze the ROMDD into an immutable compact snapshot: the manager

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"socyield/internal/bdd"
@@ -122,6 +123,17 @@ type Options struct {
 	// NodeLimit bounds live ROBDD nodes (and ROMDD nodes); 0 means
 	// unlimited. Exceeding it aborts with ErrNodeLimit.
 	NodeLimit int
+	// BuildWorkers sets the worker count for the one-time build phases
+	// (coded-ROBDD compilation and ROMDD conversion). 0 defaults to
+	// runtime.GOMAXPROCS(0); 1 selects the serial reference engine;
+	// ≥ 2 selects the concurrent engine with that many workers.
+	// Negative values are rejected. Results are bit-identical for
+	// every worker count — both engines build the same canonical
+	// diagrams — so BuildWorkers is excluded from ModelKey like the
+	// other result-invariant knobs. The validation routes
+	// (EvaluateOnCodedROBDD, EvaluateDirectMDD, BruteForce) always run
+	// serially regardless of this setting.
+	BuildWorkers int
 	// ForceM overrides the computed truncation point when > 0 has been
 	// set together with ForceMSet; used by experiments that pin M.
 	ForceM    int
@@ -169,6 +181,12 @@ func (o *Options) withDefaults() (Options, error) {
 	}
 	if out.NodeLimit < 0 {
 		return out, fmt.Errorf("yield: NodeLimit = %d < 0", out.NodeLimit)
+	}
+	if out.BuildWorkers < 0 {
+		return out, fmt.Errorf("yield: BuildWorkers = %d < 0", out.BuildWorkers)
+	}
+	if out.BuildWorkers == 0 {
+		out.BuildWorkers = runtime.GOMAXPROCS(0)
 	}
 	return out, nil
 }
@@ -352,52 +370,11 @@ func Evaluate(sys *System, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	sp = evalSpan.Child("compile")
-	t0 = time.Now()
-	bm := bdd.New(g.Netlist.NumInputs(), p.opts.bddManagerOptions()...)
-	broot, err := compile.Netlist(bm, g.Netlist, plan.BinaryLevels)
-	res.Phases.Compile = time.Since(t0)
-	sp.End()
-	res.Stats.BDD = bm.Stats()
-	res.Stats.CompilePeakLive = bm.ResetPeakLive()
-	res.ROBDDPeak = res.Stats.CompilePeakLive
+	mm, mroot, err := p.buildModel(evalSpan, g, plan, res)
 	if err != nil {
 		res.Stats.publish(rec)
 		publishResult(rec, res)
-		return res, fmt.Errorf("yield: compiling coded ROBDD: %w", err)
-	}
-	res.CodedROBDDSize = bm.Size(broot)
-
-	groupOf, bitOf := groupMeta(g)
-	spec, err := convert.SpecFromPlanLevels(plan.BinaryLevels, groupOf, bitOf, plan.GroupSeq, g.Domains())
-	if err != nil {
-		return nil, err
-	}
-
-	sp = evalSpan.Child("convert")
-	t0 = time.Now()
-	mm, err := mdd.New(spec.Domains, mdd.WithNodeLimit(p.opts.NodeLimit))
-	if err != nil {
-		sp.End()
-		return nil, err
-	}
-	mroot, err := convert.ToMDDWithStats(bm, broot, mm, spec, &res.Stats.Convert)
-	res.Phases.Convert = time.Since(t0)
-	sp.End()
-	res.Stats.MDD = mm.BuildStats()
-	res.Stats.ConvertPeakLive = bm.PeakLive()
-	res.ROBDDPeak = max(res.ROBDDPeak, res.Stats.ConvertPeakLive)
-	if err != nil {
-		res.Stats.publish(rec)
-		publishResult(rec, res)
-		return res, fmt.Errorf("yield: converting to ROMDD: %w", err)
-	}
-	ms := mm.ComputeStats(mroot)
-	res.ROMDDSize = ms.Nodes
-	res.Stats.ROMDDPerLevel = ms.PerLevel
-	res.Stats.ROMDDMaxWidth = ms.MaxWidth
-	if res.ROMDDSize > 0 {
-		res.Stats.ROBDDToROMDDRatio = float64(res.CodedROBDDSize) / float64(res.ROMDDSize)
+		return res, err
 	}
 
 	sp = evalSpan.Child("eval")
