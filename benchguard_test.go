@@ -71,8 +71,15 @@ func TestCompileBenchGuard(t *testing.T) {
 	best := 0.0
 	for run := 0; run < 2; run++ {
 		t0 := time.Now()
+		// The guarded build runs uninstrumented — nil Recorder, Tracer
+		// and BuildState. Their nil-receiver no-op checks sit on the
+		// compile and convert hot loops, so this guard also bounds the
+		// cost of the disabled flight recorder: instrumentation that
+		// slows the uninstrumented build trips it like any other
+		// compile-path regression.
 		re, err := socyield.NewReevaluator(sys, socyield.Options{
 			Defects: dist, Epsilon: base.Epsilon, BuildWorkers: base.BuildWorkers,
+			Recorder: nil, Tracer: nil, BuildState: nil,
 		})
 		sec := time.Since(t0).Seconds()
 		if err != nil {

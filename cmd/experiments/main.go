@@ -48,35 +48,39 @@ import (
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "regenerate table 1-4")
-		ablation  = flag.String("ablation", "", `ablation to run ("direct-mdd")`)
-		baseline  = flag.String("baseline", "", `baseline to run ("mc")`)
-		samples   = flag.Int("samples", 200000, "Monte-Carlo samples per case")
-		full      = flag.Bool("full", false, "run all fifteen paper rows (slow)")
-		caseList  = flag.String("cases", "", `explicit row list, e.g. "MS6:1,ESEN4x4:1" (overrides -full)`)
-		all       = flag.Bool("all", false, "run every table and ablation")
-		nodeLimit = flag.Int("nodelimit", 0, "decision-diagram node budget (0 = default 30M)")
-		epsilon   = flag.Float64("eps", 0, "yield error requirement (0 = default 5e-3)")
-		alpha     = flag.Float64("alpha", 0, "NB clustering parameter (0 = default 2)")
-		workers   = flag.Int("workers", 0, "cases evaluated concurrently (0 = all cores)")
-		buildWork = flag.Int("build-workers", 0, "workers for each decision-diagram build (0 = all cores, 1 = serial engine)")
-		buildJSON = flag.String("build-json", "", "write the build-engine worker scaling benchmark to this file (BENCH_6 format)")
-		benchJSON = flag.String("bench-json", "", "write the sweep scaling benchmark trajectory to this file")
-		benchCase = flag.String("bench-case", "ESEN8x2:1", `benchmark rows for -bench-json, e.g. "ESEN8x2:1,MS19:1"`)
-		benchPts  = flag.Int("bench-points", 64, "sweep grid size for -bench-json")
-		metricsJS = flag.String("metrics-json", "", "write collected metrics as JSON to this file (\"-\" = stdout)")
-		progress  = flag.Bool("progress", false, "print periodic progress lines for sweeps")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and an expvar metrics dump on this address")
+		table      = flag.Int("table", 0, "regenerate table 1-4")
+		ablation   = flag.String("ablation", "", `ablation to run ("direct-mdd")`)
+		baseline   = flag.String("baseline", "", `baseline to run ("mc")`)
+		samples    = flag.Int("samples", 200000, "Monte-Carlo samples per case")
+		full       = flag.Bool("full", false, "run all fifteen paper rows (slow)")
+		caseList   = flag.String("cases", "", `explicit row list, e.g. "MS6:1,ESEN4x4:1" (overrides -full)`)
+		all        = flag.Bool("all", false, "run every table and ablation")
+		nodeLimit  = flag.Int("nodelimit", 0, "decision-diagram node budget (0 = default 30M)")
+		epsilon    = flag.Float64("eps", 0, "yield error requirement (0 = default 5e-3)")
+		alpha      = flag.Float64("alpha", 0, "NB clustering parameter (0 = default 2)")
+		workers    = flag.Int("workers", 0, "cases evaluated concurrently (0 = all cores)")
+		buildWork  = flag.Int("build-workers", 0, "workers for each decision-diagram build (0 = all cores, 1 = serial engine)")
+		buildJSON  = flag.String("build-json", "", "write the build-engine worker scaling benchmark to this file (BENCH_6 format)")
+		benchJSON  = flag.String("bench-json", "", "write the sweep scaling benchmark trajectory to this file")
+		benchCase  = flag.String("bench-case", "ESEN8x2:1", `benchmark rows for -bench-json, e.g. "ESEN8x2:1,MS19:1"`)
+		benchPts   = flag.Int("bench-points", 64, "sweep grid size for -bench-json")
+		metricsJS  = flag.String("metrics-json", "", "write collected metrics as JSON to this file (\"-\" = stdout)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file of the run to this file (Perfetto-loadable)")
+		samplesOut = flag.String("samples-out", "", "write the sampled metrics time series as JSONL to this file (\"-\" = stdout)")
+		sampleInt  = flag.Duration("sample-interval", 0, "flight-recorder sampling interval (0 = 100ms default)")
+		progress   = flag.Bool("progress", false, "print periodic progress lines for sweeps")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and an expvar metrics dump on this address")
 	)
 	flag.Parse()
 	var rec *obs.Registry
-	if *metricsJS != "" || *pprofAddr != "" {
+	if *metricsJS != "" || *pprofAddr != "" || *traceOut != "" || *samplesOut != "" {
 		rec = obs.NewRegistry()
 	}
 	if *pprofAddr != "" {
 		cliutil.ServeDebug("experiments", *pprofAddr, rec)
 	}
-	cfg := experiments.Config{Alpha: *alpha, Epsilon: *epsilon, NodeLimit: *nodeLimit, Workers: *workers, BuildWorkers: *buildWork, Recorder: rec}
+	flight := cliutil.StartFlightRecorder(rec, *traceOut, *samplesOut, *sampleInt)
+	cfg := experiments.Config{Alpha: *alpha, Epsilon: *epsilon, NodeLimit: *nodeLimit, Workers: *workers, BuildWorkers: *buildWork, Recorder: rec, Tracer: flight.Tracer()}
 	cases := experiments.QuickCases()
 	if *full || *all {
 		cases = experiments.PaperCases()
@@ -131,6 +135,10 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := flight.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 	if *metricsJS != "" {
 		if err := cliutil.WriteMetrics(rec, *metricsJS); err != nil {

@@ -21,10 +21,14 @@
 //	  "lambdas": [0.5, 1, 2, 4]
 //	}'
 //
-// GET /healthz is a liveness probe; GET /metrics returns the live
-// request/cache/evaluation counters as JSON; GET /debug/vars serves
-// the same registry through expvar. SIGINT/SIGTERM drain in-flight
-// requests before exiting.
+// GET /healthz is a liveness probe; GET /metrics exposes the live
+// request/cache/evaluation instruments in Prometheus text format;
+// GET /metrics.json returns the same registry as a JSON snapshot;
+// GET /v1/builds lists the model builds in flight (phase, progress,
+// ETA); GET /debug/vars serves the registry through expvar.
+// SIGINT/SIGTERM drain in-flight requests before exiting; with
+// -trace-out the whole lifetime is then written as a Chrome
+// trace-event file (load it at ui.perfetto.dev).
 package main
 
 import (
@@ -37,22 +41,27 @@ import (
 	"syscall"
 	"time"
 
+	"socyield/internal/cliutil"
 	"socyield/internal/obs"
 	"socyield/internal/server"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8344", "listen address")
-		cacheSize = flag.Int("cache", 32, "compiled models kept in the LRU cache")
-		nodeLimit = flag.Int("nodelimit", 0, "decision-diagram node budget per model (0 = default 8M, <0 = unlimited)")
-		maxConc   = flag.Int("max-concurrent", 0, "concurrent evaluations (0 = 2×GOMAXPROCS)")
-		timeout   = flag.Duration("timeout", 60*time.Second, "per-request timeout")
-		sweepWork = flag.Int("sweep-workers", 0, "worker cap for /v1/sweep (0 = all cores)")
-		buildWork = flag.Int("build-workers", 0, "workers for model compiles (0 = all cores, 1 = serial engine)")
-		gracePer  = flag.Duration("grace", 10*time.Second, "shutdown drain period")
-		logJSON   = flag.Bool("log-json", false, "log one JSON object per request instead of text")
-		quiet     = flag.Bool("quiet", false, "disable request logging")
+		addr       = flag.String("addr", ":8344", "listen address")
+		cacheSize  = flag.Int("cache", 32, "compiled models kept in the LRU cache")
+		nodeLimit  = flag.Int("nodelimit", 0, "decision-diagram node budget per model (0 = default 8M, <0 = unlimited)")
+		maxConc    = flag.Int("max-concurrent", 0, "concurrent evaluations (0 = 2×GOMAXPROCS)")
+		timeout    = flag.Duration("timeout", 60*time.Second, "per-request timeout")
+		sweepWork  = flag.Int("sweep-workers", 0, "worker cap for /v1/sweep (0 = all cores)")
+		buildWork  = flag.Int("build-workers", 0, "workers for model compiles (0 = all cores, 1 = serial engine)")
+		gracePer   = flag.Duration("grace", 10*time.Second, "shutdown drain period")
+		logJSON    = flag.Bool("log-json", false, "log one JSON object per request instead of text")
+		quiet      = flag.Bool("quiet", false, "disable request logging")
+		slowReq    = flag.Duration("slow-request", 0, "log requests slower than this as warnings (0 = 10s default, <0 = off)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file of the server's lifetime on shutdown (Perfetto-loadable)")
+		samplesOut = flag.String("samples-out", "", "write the sampled metrics time series as JSONL on shutdown")
+		sampleInt  = flag.Duration("sample-interval", 0, "flight-recorder sampling interval (0 = 100ms default)")
 	)
 	flag.Parse()
 
@@ -73,22 +82,33 @@ func main() {
 	metrics := obs.NewRegistry()
 	metrics.Publish("socyield") // live snapshot on /debug/vars
 
+	// The flight recorder samples the registry for the server's whole
+	// lifetime; the artifacts are written after the drain, so the trace
+	// covers every build the server ran.
+	flight := cliutil.StartFlightRecorder(metrics, *traceOut, *samplesOut, *sampleInt)
+
 	srv := server.New(server.Config{
-		Addr:           *addr,
-		CacheEntries:   *cacheSize,
-		NodeLimit:      *nodeLimit,
-		MaxConcurrent:  *maxConc,
-		RequestTimeout: *timeout,
-		SweepWorkers:   *sweepWork,
-		BuildWorkers:   *buildWork,
-		Metrics:        metrics,
-		Logger:         logger,
-		ShutdownGrace:  *gracePer,
+		Addr:                 *addr,
+		CacheEntries:         *cacheSize,
+		NodeLimit:            *nodeLimit,
+		MaxConcurrent:        *maxConc,
+		RequestTimeout:       *timeout,
+		SweepWorkers:         *sweepWork,
+		BuildWorkers:         *buildWork,
+		Metrics:              metrics,
+		Tracer:               flight.Tracer(),
+		Logger:               logger,
+		ShutdownGrace:        *gracePer,
+		SlowRequestThreshold: *slowReq,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := srv.ListenAndServe(ctx); err != nil {
+	err := srv.ListenAndServe(ctx)
+	if ferr := flight.Close(); ferr != nil && err == nil {
+		err = ferr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "yieldd:", err)
 		os.Exit(1)
 	}

@@ -19,7 +19,11 @@
 //
 // Instrumentation: -metrics-json FILE dumps every counter, gauge,
 // histogram and phase span collected during the run as JSON ("-" for
-// stdout); -progress prints periodic completion lines for sweeps and
+// stdout); -trace-out FILE records the run as a Chrome trace-event
+// file (open it at ui.perfetto.dev) with phase spans, per-worker build
+// tracks and sampled counters; -samples-out FILE dumps the sampled
+// metrics time series as JSONL (-sample-interval sets the cadence);
+// -progress prints periodic completion lines for sweeps and
 // Monte-Carlo runs; -pprof ADDR serves net/http/pprof and an expvar
 // dump of the live metrics on ADDR for the duration of the run.
 package main
@@ -49,38 +53,42 @@ func main() {
 
 func run() error {
 	var (
-		benchName = flag.String("bench", "", "benchmark system (MS<n> or ESEN<n>x<m>)")
-		file      = flag.String("f", "", "system description file (ftdsl format)")
-		lambda    = flag.Float64("lambda", 2, "expected number of manufacturing defects")
-		alpha     = flag.Float64("alpha", 2, "negative binomial clustering parameter")
-		poisson   = flag.Bool("poisson", false, "use a Poisson defect model instead")
-		eps       = flag.Float64("eps", 5e-3, "absolute yield error requirement")
-		mvName    = flag.String("mv", "w", "MV-variable ordering: wv wvr vw vrw t w h")
-		bitName   = flag.String("bits", "ml", "bit-group ordering: ml lm t w h")
-		nodeLimit = flag.Int("nodelimit", 0, "decision-diagram node budget (0 = unlimited)")
-		mcSamples = flag.Int("mc", 0, "also run a Monte-Carlo cross-check with this many samples")
-		sens      = flag.Bool("sensitivity", false, "print per-component yield sensitivities ∂Y/∂P_i")
-		relTimes  = flag.String("reliability", "", "comma-separated mission times for a reliability curve")
-		fRate     = flag.Float64("frate", 1e-3, "field failure rate per component (with -reliability)")
-		sweep     = flag.String("sweep", "", "comma-separated λ values for a batch sweep on the shared ROMDD")
-		workers   = flag.Int("workers", 0, "parallel workers for -sweep and -mc (0 = all cores)")
-		buildWork = flag.Int("build-workers", 0, "workers for the decision-diagram build (0 = all cores, 1 = serial engine)")
-		verbose   = flag.Bool("v", false, "print per-phase statistics")
-		metricsJS = flag.String("metrics-json", "", "write collected metrics as JSON to this file (\"-\" = stdout)")
-		progress  = flag.Bool("progress", false, "print periodic progress lines for sweeps and Monte-Carlo runs")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and an expvar metrics dump on this address")
+		benchName  = flag.String("bench", "", "benchmark system (MS<n> or ESEN<n>x<m>)")
+		file       = flag.String("f", "", "system description file (ftdsl format)")
+		lambda     = flag.Float64("lambda", 2, "expected number of manufacturing defects")
+		alpha      = flag.Float64("alpha", 2, "negative binomial clustering parameter")
+		poisson    = flag.Bool("poisson", false, "use a Poisson defect model instead")
+		eps        = flag.Float64("eps", 5e-3, "absolute yield error requirement")
+		mvName     = flag.String("mv", "w", "MV-variable ordering: wv wvr vw vrw t w h")
+		bitName    = flag.String("bits", "ml", "bit-group ordering: ml lm t w h")
+		nodeLimit  = flag.Int("nodelimit", 0, "decision-diagram node budget (0 = unlimited)")
+		mcSamples  = flag.Int("mc", 0, "also run a Monte-Carlo cross-check with this many samples")
+		sens       = flag.Bool("sensitivity", false, "print per-component yield sensitivities ∂Y/∂P_i")
+		relTimes   = flag.String("reliability", "", "comma-separated mission times for a reliability curve")
+		fRate      = flag.Float64("frate", 1e-3, "field failure rate per component (with -reliability)")
+		sweep      = flag.String("sweep", "", "comma-separated λ values for a batch sweep on the shared ROMDD")
+		workers    = flag.Int("workers", 0, "parallel workers for -sweep and -mc (0 = all cores)")
+		buildWork  = flag.Int("build-workers", 0, "workers for the decision-diagram build (0 = all cores, 1 = serial engine)")
+		verbose    = flag.Bool("v", false, "print per-phase statistics")
+		metricsJS  = flag.String("metrics-json", "", "write collected metrics as JSON to this file (\"-\" = stdout)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file of the run to this file (Perfetto-loadable)")
+		samplesOut = flag.String("samples-out", "", "write the sampled metrics time series as JSONL to this file (\"-\" = stdout)")
+		sampleInt  = flag.Duration("sample-interval", 0, "flight-recorder sampling interval (0 = 100ms default)")
+		progress   = flag.Bool("progress", false, "print periodic progress lines for sweeps and Monte-Carlo runs")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and an expvar metrics dump on this address")
 	)
 	flag.Parse()
 
 	// One registry instruments the whole run. It is created whenever any
 	// export path wants it; a nil registry records nothing.
 	var rec *obs.Registry
-	if *metricsJS != "" || *pprofAddr != "" {
+	if *metricsJS != "" || *pprofAddr != "" || *traceOut != "" || *samplesOut != "" {
 		rec = obs.NewRegistry()
 	}
 	if *pprofAddr != "" {
 		cliutil.ServeDebug("yieldsoc", *pprofAddr, rec)
 	}
+	flight := cliutil.StartFlightRecorder(rec, *traceOut, *samplesOut, *sampleInt)
 
 	sys, err := cliutil.LoadSystem(*benchName, *file)
 	if err != nil {
@@ -108,6 +116,7 @@ func run() error {
 		MVOrder: mv, BitOrder: bits, NodeLimit: *nodeLimit,
 		BuildWorkers: *buildWork,
 		Recorder:     rec,
+		Tracer:       flight.Tracer(),
 	}
 	start := time.Now()
 	res, err := yield.Evaluate(sys, opts)
@@ -247,6 +256,11 @@ func run() error {
 		for _, pt := range curve.Points {
 			fmt.Printf("  R(%g) = %.6f\n", pt.T, pt.Reliability)
 		}
+	}
+	// The flight recorder closes after the instrumented work so the
+	// trace carries the complete phase spans.
+	if err := flight.Close(); err != nil {
+		return err
 	}
 	if *metricsJS != "" {
 		if err := cliutil.WriteMetrics(rec, *metricsJS); err != nil {

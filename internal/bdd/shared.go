@@ -119,11 +119,12 @@ type Shared struct {
 	gcFreed  int64
 	markBits []uint64 // GC scratch, reused across collections
 
-	aggMu sync.Mutex
-	agg   workerTotals
+	agg sharedTotals
 }
 
-// workerTotals accumulates the counters of closed workers.
+// workerTotals are a worker's private counters: plain ints bumped with
+// no synchronization on the hot path, flushed into the arena's atomic
+// totals at refill points and at Close.
 type workerTotals struct {
 	cacheHits    int64
 	cacheMisses  int64
@@ -131,6 +132,18 @@ type workerTotals struct {
 	nodesCreated int64
 	shardWaits   int64
 	cacheWaits   int64
+}
+
+// sharedTotals accumulates flushed worker counters. The fields are
+// atomics so that an observer (the flight-recorder sampler) can read
+// running totals mid-build without racing the workers.
+type sharedTotals struct {
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	uniqueHits   atomic.Int64
+	nodesCreated atomic.Int64
+	shardWaits   atomic.Int64
+	cacheWaits   atomic.Int64
 }
 
 // NewShared creates a concurrent build arena for numVars boolean
@@ -417,9 +430,6 @@ func (s *Shared) growCacheToward(live int) {
 // still-open workers are not included — close all workers (or call
 // only after the build) for exact totals.
 func (s *Shared) Stats() Stats {
-	s.aggMu.Lock()
-	agg := s.agg
-	s.aggMu.Unlock()
 	s.bumpPeak()
 	var buckets int
 	var growths int64
@@ -436,15 +446,47 @@ func (s *Shared) Stats() Stats {
 		ArenaNodes:         int(s.nextSlot.Load()),
 		UniqueTableBuckets: buckets,
 		UniqueTableGrowths: growths,
-		UniqueTableHits:    agg.uniqueHits,
-		NodesCreated:       agg.nodesCreated,
-		ApplyCacheHits:     agg.cacheHits,
-		ApplyCacheMisses:   agg.cacheMisses,
+		UniqueTableHits:    s.agg.uniqueHits.Load(),
+		NodesCreated:       s.agg.nodesCreated.Load(),
+		ApplyCacheHits:     s.agg.cacheHits.Load(),
+		ApplyCacheMisses:   s.agg.cacheMisses.Load(),
 		ApplyCacheSize:     len(s.cache),
 		GCs:                s.gcCount,
 		GCFreed:            s.gcFreed,
-		ShardContention:    agg.shardWaits,
-		CacheContention:    agg.cacheWaits,
+		ShardContention:    s.agg.shardWaits.Load(),
+		CacheContention:    s.agg.cacheWaits.Load(),
+	}
+}
+
+// LiveStats is the subset of Stats that is safe to read while a build
+// is running: every field is backed by an atomic, so a sampler
+// goroutine can poll it concurrently with the workers. Counters lag
+// reality by at most one worker flush interval (a refill chunk of
+// allocations); structural fields that require quiescence (cache size,
+// shard bucket counts, GC totals) are deliberately absent.
+type LiveStats struct {
+	Live             int
+	ArenaNodes       int
+	UniqueTableHits  int64
+	NodesCreated     int64
+	ApplyCacheHits   int64
+	ApplyCacheMisses int64
+	ShardContention  int64
+	CacheContention  int64
+}
+
+// LiveStats returns the race-safe running totals. Unlike Stats, it is
+// safe to call from any goroutine at any time during a build.
+func (s *Shared) LiveStats() LiveStats {
+	return LiveStats{
+		Live:             int(s.live.Load()),
+		ArenaNodes:       int(s.nextSlot.Load()),
+		UniqueTableHits:  s.agg.uniqueHits.Load(),
+		NodesCreated:     s.agg.nodesCreated.Load(),
+		ApplyCacheHits:   s.agg.cacheHits.Load(),
+		ApplyCacheMisses: s.agg.cacheMisses.Load(),
+		ShardContention:  s.agg.shardWaits.Load(),
+		CacheContention:  s.agg.cacheWaits.Load(),
 	}
 }
 
@@ -476,14 +518,32 @@ func (w *Worker) Close() {
 	}
 	s.freeMu.Unlock()
 	w.free, w.chunk, w.chunkEnd = nil, 0, 0
-	s.aggMu.Lock()
-	s.agg.cacheHits += w.cacheHits
-	s.agg.cacheMisses += w.cacheMisses
-	s.agg.uniqueHits += w.uniqueHits
-	s.agg.nodesCreated += w.nodesCreated
-	s.agg.shardWaits += w.shardWaits
-	s.agg.cacheWaits += w.cacheWaits
-	s.aggMu.Unlock()
+	w.flushTotals()
+}
+
+// flushTotals moves the worker's private counters into the arena's
+// atomic totals. Called at refill points (so live observers see
+// near-current totals during a build) and at Close (for exactness).
+func (w *Worker) flushTotals() {
+	agg := &w.s.agg
+	if w.cacheHits != 0 {
+		agg.cacheHits.Add(w.cacheHits)
+	}
+	if w.cacheMisses != 0 {
+		agg.cacheMisses.Add(w.cacheMisses)
+	}
+	if w.uniqueHits != 0 {
+		agg.uniqueHits.Add(w.uniqueHits)
+	}
+	if w.nodesCreated != 0 {
+		agg.nodesCreated.Add(w.nodesCreated)
+	}
+	if w.shardWaits != 0 {
+		agg.shardWaits.Add(w.shardWaits)
+	}
+	if w.cacheWaits != 0 {
+		agg.cacheWaits.Add(w.cacheWaits)
+	}
 	w.workerTotals = workerTotals{}
 }
 
@@ -525,6 +585,9 @@ func (w *Worker) allocSlot() int32 {
 }
 
 func (w *Worker) refill() {
+	// Refill is the worker's natural coarse-grained sync point (once
+	// per allocation chunk), so piggyback the counter flush here.
+	w.flushTotals()
 	s := w.s
 	s.freeMu.Lock()
 	if n := len(s.freeList); n > 0 {

@@ -1,17 +1,20 @@
 // Package cliutil holds the flag plumbing shared by the socyield
 // command-line tools (yieldsoc, experiments, yieldd): loading a system
 // from a benchmark name or an ftdsl file, parsing comma-separated
-// float lists, dumping a metrics registry, and serving the pprof +
-// expvar debug endpoint.
+// float lists, dumping a metrics registry, running the flight recorder
+// (-trace-out, -samples-out), and serving the pprof + expvar debug
+// endpoint.
 package cliutil
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof" // register /debug/pprof on DefaultServeMux
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"socyield/internal/benchmarks"
 	"socyield/internal/ftdsl"
@@ -63,6 +66,100 @@ func WriteMetrics(rec *obs.Registry, path string) error {
 		return err
 	}
 	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// FlightRecorder bundles the telemetry sinks a CLI run can carry: a
+// background Sampler snapshotting the registry's scalar instruments at
+// a fixed interval, and a Tracer collecting per-work-unit events from
+// the build pipeline. Close stops the sampler and writes the requested
+// artifacts — a Chrome trace-event file (load it at ui.perfetto.dev or
+// chrome://tracing) and/or a JSONL time series.
+//
+// A nil *FlightRecorder is valid and inert, matching the obs
+// discipline: StartFlightRecorder returns nil when no output was
+// requested, and Tracer/Close on nil are no-ops.
+type FlightRecorder struct {
+	rec        *obs.Registry
+	sampler    *obs.Sampler
+	tracer     *obs.Tracer
+	traceOut   string
+	samplesOut string
+}
+
+// StartFlightRecorder starts sampling rec every interval (0 = the obs
+// default) and returns the running recorder, or nil when both output
+// paths are empty. The tracer is only created when a trace file was
+// requested — per-gate events are worthless without a sink and not
+// free to record.
+func StartFlightRecorder(rec *obs.Registry, traceOut, samplesOut string, interval time.Duration) *FlightRecorder {
+	if traceOut == "" && samplesOut == "" {
+		return nil
+	}
+	if interval <= 0 {
+		interval = obs.DefaultSampleInterval
+	}
+	f := &FlightRecorder{
+		rec:        rec,
+		sampler:    obs.NewSampler(rec, interval, 0),
+		traceOut:   traceOut,
+		samplesOut: samplesOut,
+	}
+	if traceOut != "" {
+		f.tracer = obs.NewTracer(0)
+	}
+	f.sampler.Start()
+	return f
+}
+
+// Tracer returns the build-event tracer to thread into the pipeline
+// (nil when tracing was not requested — the pipeline treats that as
+// "don't record").
+func (f *FlightRecorder) Tracer() *obs.Tracer {
+	if f == nil {
+		return nil
+	}
+	return f.tracer
+}
+
+// Close stops sampling and writes the requested artifacts. Call it
+// after the instrumented work finishes so the trace carries the
+// complete phase spans.
+func (f *FlightRecorder) Close() error {
+	if f == nil {
+		return nil
+	}
+	f.sampler.Stop()
+	if f.samplesOut != "" {
+		if err := writeTo(f.samplesOut, f.sampler.WriteJSONL); err != nil {
+			return fmt.Errorf("samples: %w", err)
+		}
+	}
+	if f.traceOut != "" {
+		snap := f.rec.Snapshot()
+		err := writeTo(f.traceOut, func(w io.Writer) error {
+			return obs.WriteChromeTrace(w, snap, f.sampler.Samples(), f.tracer.Events())
+		})
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeTo streams write into path ("-" = stdout).
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}

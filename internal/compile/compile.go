@@ -11,6 +11,7 @@ package compile
 
 import (
 	"fmt"
+	"time"
 
 	"socyield/internal/bdd"
 	"socyield/internal/logic"
@@ -21,7 +22,8 @@ import (
 // must be injective over the inputs in the cone, and every level must
 // be valid in m. The returned root carries one external reference; the
 // caller is responsible for m.Deref when done.
-func Netlist(m *bdd.Manager, n *logic.Netlist, levels []int) (bdd.Node, error) {
+func Netlist(m *bdd.Manager, n *logic.Netlist, levels []int, opts ...Option) (bdd.Node, error) {
+	cfg := applyOptions(opts)
 	out, ok := n.Output()
 	if !ok {
 		return bdd.False, logic.ErrNoOutput
@@ -42,6 +44,7 @@ func Netlist(m *bdd.Manager, n *logic.Netlist, levels []int) (bdd.Node, error) {
 		return bdd.False, err
 	}
 	fanout[out]++ // the caller is a consumer of the output
+	cfg.state.SetTotal(int64(len(topo)))
 
 	results := make(map[logic.GateID]bdd.Node, len(topo))
 	var operands []bdd.Node // scratch for n-ary gate fan-ins
@@ -61,6 +64,10 @@ func Netlist(m *bdd.Manager, n *logic.Netlist, levels []int) (bdd.Node, error) {
 
 	for _, id := range topo {
 		g := n.Gate(id)
+		var t0 time.Time
+		if cfg.tracer != nil {
+			t0 = time.Now()
+		}
 		var r bdd.Node
 		var err error
 		switch g.Kind {
@@ -118,6 +125,11 @@ func Netlist(m *bdd.Manager, n *logic.Netlist, levels []int) (bdd.Node, error) {
 			release(f)
 		}
 		m.MaybeGC()
+		cfg.state.Add(1)
+		cfg.state.SetLive(int64(m.Live()))
+		if cfg.tracer != nil {
+			cfg.tracer.Event("gate", "compile", 0, t0, time.Since(t0))
+		}
 	}
 	root := results[out]
 	// Transfer ownership of the single remaining reference to the

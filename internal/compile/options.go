@@ -1,0 +1,58 @@
+package compile
+
+import (
+	"socyield/internal/obs"
+)
+
+// Option configures optional instrumentation of a compile run. The
+// zero configuration is free: both hooks are nil-receiver no-ops, so
+// un-instrumented callers pay only nil checks.
+type Option func(*options)
+
+type options struct {
+	state  *obs.BuildState
+	tracer *obs.Tracer
+}
+
+// WithBuildState attaches a live progress tracker: the compiler
+// publishes the task total once the work is known and counts finished
+// tasks and live nodes as it goes, so /v1/builds and the flight
+// recorder can report gates-done/total mid-compile.
+func WithBuildState(b *obs.BuildState) Option {
+	return func(o *options) { o.state = b }
+}
+
+// WithTracer attaches a flight-recorder tracer: each compiled task
+// becomes one timed event on its worker's track in the Chrome trace
+// export.
+func WithTracer(t *obs.Tracer) Option {
+	return func(o *options) { o.tracer = t }
+}
+
+func applyOptions(opts []Option) options {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// taskKindName names a parallel task kind for trace events.
+func taskKindName(kind int8) string {
+	switch kind {
+	case tkVar:
+		return "var"
+	case tkConst:
+		return "const"
+	case tkNot:
+		return "not"
+	case tkAnd:
+		return "and"
+	case tkOr:
+		return "or"
+	case tkXor:
+		return "xor"
+	default:
+		return "task"
+	}
+}

@@ -25,9 +25,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"socyield/internal/bdd"
 	"socyield/internal/logic"
+	"socyield/internal/obs"
 )
 
 // ParallelStats reports what the work-stealing pool did during one
@@ -116,6 +118,8 @@ type cpool struct {
 	operandBuf [][]bdd.Node
 	steals     atomic.Int64
 	remaining  atomic.Int64
+	state      *obs.BuildState
+	tracer     *obs.Tracer
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -181,7 +185,8 @@ func (tb *taskBuilder) reduceWide(kind int8, negate bool, ins []int32) int32 {
 // On error the arena is left with the in-flight intermediates still
 // referenced; callers discard the whole Shared, as the serial pipeline
 // discards its Manager.
-func NetlistParallel(s *bdd.Shared, n *logic.Netlist, levels []int, workers int) (bdd.Node, ParallelStats, error) {
+func NetlistParallel(s *bdd.Shared, n *logic.Netlist, levels []int, workers int, opts ...Option) (bdd.Node, ParallelStats, error) {
+	cfg := applyOptions(opts)
 	out, ok := n.Output()
 	if !ok {
 		return bdd.False, ParallelStats{}, logic.ErrNoOutput
@@ -246,6 +251,7 @@ func NetlistParallel(s *bdd.Shared, n *logic.Netlist, levels []int, workers int)
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	cfg.state.SetTotal(int64(len(tasks)))
 	p := &cpool{
 		s:          s,
 		tasks:      tasks,
@@ -253,6 +259,8 @@ func NetlistParallel(s *bdd.Shared, n *logic.Netlist, levels []int, workers int)
 		deques:     make([]deque, workers),
 		operandBuf: make([][]bdd.Node, workers),
 		alive:      workers,
+		state:      cfg.state,
+		tracer:     cfg.tracer,
 	}
 	p.cond = sync.NewCond(&p.mu)
 	p.remaining.Store(int64(len(tasks)))
@@ -308,6 +316,10 @@ func (p *cpool) run(wi int, wg *sync.WaitGroup) {
 
 func (p *cpool) exec(wi int, w *bdd.Worker, ti int32) {
 	t := &p.tasks[ti]
+	var t0 time.Time
+	if p.tracer != nil {
+		t0 = time.Now()
+	}
 	var r bdd.Node
 	switch t.kind {
 	case tkVar:
@@ -369,6 +381,11 @@ func (p *cpool) exec(wi int, w *bdd.Worker, ti int32) {
 		p.done = true
 		p.cond.Broadcast()
 		p.mu.Unlock()
+	}
+	p.state.Add(1)
+	p.state.SetLive(int64(p.s.Live()))
+	if p.tracer != nil {
+		p.tracer.Event(taskKindName(t.kind), "compile", wi, t0, time.Since(t0))
 	}
 }
 

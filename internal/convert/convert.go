@@ -124,7 +124,8 @@ func ToMDD(bm *bdd.Manager, root bdd.Node, mm *mdd.Manager, spec Spec) (mdd.Node
 
 // ToMDDWithStats is ToMDD recording per-layer conversion statistics
 // into st when st is non-nil. The conversion itself is identical.
-func ToMDDWithStats(bm *bdd.Manager, root bdd.Node, mm *mdd.Manager, spec Spec, st *Stats) (mdd.Node, error) {
+func ToMDDWithStats(bm *bdd.Manager, root bdd.Node, mm *mdd.Manager, spec Spec, st *Stats, opts ...Option) (mdd.Node, error) {
+	cfg := applyOptions(opts)
 	if err := spec.Validate(); err != nil {
 		return mdd.False, err
 	}
@@ -170,6 +171,9 @@ func ToMDDWithStats(bm *bdd.Manager, root bdd.Node, mm *mdd.Manager, spec Spec, 
 		if st != nil {
 			st.EntryNodes[g]++
 		}
+		// The serial converter discovers entry nodes as it converts, so
+		// the total is unknown; progress still counts nodes done.
+		cfg.state.Add(1)
 		kids := make([]mdd.Node, spec.Domains[g])
 		for val := range kids {
 			kids[val] = conv(simulate(bm, &spec, n, g, val, steps))

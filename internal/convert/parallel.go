@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"socyield/internal/bdd"
 	"socyield/internal/mdd"
@@ -120,7 +121,8 @@ func testAndSet(bits []uint32, n bdd.Node) bool {
 // feeding node construction (the discovery prepass re-runs the same
 // simulations and is deliberately not double-counted, so the figure is
 // comparable with the serial converter's).
-func ToMDDParallel(bm Source, root bdd.Node, mm *mdd.Manager, spec Spec, workers int, st *Stats) (mdd.Node, error) {
+func ToMDDParallel(bm Source, root bdd.Node, mm *mdd.Manager, spec Spec, workers int, st *Stats, opts ...Option) (mdd.Node, error) {
+	cfg := applyOptions(opts)
 	if err := spec.Validate(); err != nil {
 		return mdd.False, err
 	}
@@ -188,7 +190,13 @@ func ToMDDParallel(bm Source, root bdd.Node, mm *mdd.Manager, spec Spec, workers
 	}
 
 	// Pass 2: build each layer bottom-up — parallel simulations into a
-	// flat kids table, then serial node creation.
+	// flat kids table, then serial node creation. Discovery fixed every
+	// layer's entry set above, so the total work is now known.
+	total := int64(0)
+	for g := rg; g < G; g++ {
+		total += int64(len(layers[g]))
+	}
+	cfg.state.SetTotal(total)
 	memo := make([]mdd.Node, bound)
 	stepCounts := make([]int64, workers)
 	for g := G - 1; g >= rg; g-- {
@@ -202,6 +210,10 @@ func ToMDDParallel(bm Source, root bdd.Node, mm *mdd.Manager, spec Spec, workers
 		D := spec.Domains[g]
 		kids := make([]mdd.Node, len(entries)*D)
 		parallelRanges(len(entries), workers, func(w, lo, hi int) {
+			var t0 time.Time
+			if cfg.tracer != nil {
+				t0 = time.Now()
+			}
 			steps := &stepCounts[w]
 			for i := lo; i < hi; i++ {
 				for val := 0; val < D; val++ {
@@ -216,6 +228,9 @@ func ToMDDParallel(bm Source, root bdd.Node, mm *mdd.Manager, spec Spec, workers
 					}
 				}
 			}
+			if cfg.tracer != nil {
+				cfg.tracer.Event(fmt.Sprintf("layer %d sim [%d,%d)", g, lo, hi), "convert", w, t0, time.Since(t0))
+			}
 		})
 		for i, n := range entries {
 			r, err := mm.MkNode(g, kids[i*D:(i+1)*D])
@@ -224,6 +239,7 @@ func ToMDDParallel(bm Source, root bdd.Node, mm *mdd.Manager, spec Spec, workers
 			}
 			memo[n] = r
 		}
+		cfg.state.Add(int64(len(entries)))
 	}
 	if st != nil {
 		for _, s := range stepCounts {

@@ -99,6 +99,10 @@ type Config struct {
 	// reflect the last case finished. The registry is concurrency-safe,
 	// so it composes with Workers > 1.
 	Recorder *obs.Registry
+	// Tracer, when non-nil, records per-work-unit build events from
+	// every evaluation into the flight recorder's trace ring. Like the
+	// Recorder it is concurrency-safe and shared across cases.
+	Tracer *obs.Tracer
 }
 
 const (
@@ -265,7 +269,7 @@ func Table2(cases []Case, cfg Config) ([]Table2Row, error) {
 			res, err := yield.Evaluate(sys, yield.Options{
 				Defects: dist, Epsilon: cfg.Epsilon,
 				MVOrder: mv, BitOrder: order.BitML,
-				NodeLimit: cfg.limit(defaultOrderingNodeLimit), BuildWorkers: cfg.BuildWorkers, Recorder: cfg.Recorder,
+				NodeLimit: cfg.limit(defaultOrderingNodeLimit), BuildWorkers: cfg.BuildWorkers, Recorder: cfg.Recorder, Tracer: cfg.Tracer,
 			})
 			switch {
 			case err == nil:
@@ -311,7 +315,7 @@ func Table3(cases []Case, cfg Config) ([]Table3Row, error) {
 			res, err := yield.Evaluate(sys, yield.Options{
 				Defects: dist, Epsilon: cfg.Epsilon,
 				MVOrder: order.MVWeight, BitOrder: bk,
-				NodeLimit: cfg.limit(defaultPerfNodeLimit), BuildWorkers: cfg.BuildWorkers, Recorder: cfg.Recorder,
+				NodeLimit: cfg.limit(defaultPerfNodeLimit), BuildWorkers: cfg.BuildWorkers, Recorder: cfg.Recorder, Tracer: cfg.Tracer,
 			})
 			switch {
 			case err == nil:
@@ -369,7 +373,7 @@ func Table4(cases []Case, cfg Config) ([]Table4Row, error) {
 		res, err := yield.Evaluate(sys, yield.Options{
 			Defects: dist, Epsilon: cfg.Epsilon,
 			MVOrder: order.MVWeight, BitOrder: order.BitML,
-			NodeLimit: cfg.limit(defaultPerfNodeLimit), BuildWorkers: cfg.BuildWorkers, Recorder: cfg.Recorder,
+			NodeLimit: cfg.limit(defaultPerfNodeLimit), BuildWorkers: cfg.BuildWorkers, Recorder: cfg.Recorder, Tracer: cfg.Tracer,
 		})
 		row := Table4Row{Case: cs, CPU: time.Since(start)}
 		if paper, ok := paperTable4[cs]; ok {
@@ -423,7 +427,7 @@ func AblationDirectMDD(cases []Case, cfg Config) ([]AblationRow, error) {
 		opts := yield.Options{
 			Defects: dist, Epsilon: cfg.Epsilon,
 			MVOrder: order.MVWeight, BitOrder: order.BitML,
-			NodeLimit: cfg.limit(defaultPerfNodeLimit), BuildWorkers: cfg.BuildWorkers, Recorder: cfg.Recorder,
+			NodeLimit: cfg.limit(defaultPerfNodeLimit), BuildWorkers: cfg.BuildWorkers, Recorder: cfg.Recorder, Tracer: cfg.Tracer,
 		}
 		start := time.Now()
 		viaCoded, err := yield.Evaluate(sys, opts)
@@ -484,7 +488,7 @@ func BaselineMonteCarlo(cases []Case, samples int, cfg Config) ([]BaselineRow, e
 		}
 		start := time.Now()
 		exact, err := yield.Evaluate(sys, yield.Options{
-			Defects: dist, Epsilon: cfg.Epsilon, NodeLimit: cfg.limit(defaultPerfNodeLimit), BuildWorkers: cfg.BuildWorkers, Recorder: cfg.Recorder,
+			Defects: dist, Epsilon: cfg.Epsilon, NodeLimit: cfg.limit(defaultPerfNodeLimit), BuildWorkers: cfg.BuildWorkers, Recorder: cfg.Recorder, Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return BaselineRow{}, fmt.Errorf("%v: %w", cs, err)

@@ -1,0 +1,33 @@
+package obs
+
+import "time"
+
+// ETA estimates the time remaining for a task that has completed done
+// of total work units in elapsed wall time, by linear extrapolation of
+// the observed rate. The second return value reports whether an
+// estimate is possible at all; it is false when
+//
+//   - total is unknown or non-positive,
+//   - nothing has completed yet (the rate is zero — the long-build
+//     edge case right at a phase start), or
+//   - no time has elapsed (the rate would divide by zero).
+//
+// When done has reached or passed total (totals are sometimes
+// estimates themselves), the remaining time is clamped to zero rather
+// than going negative, and any overflow of the extrapolation likewise
+// clamps to zero.
+func ETA(done, total int64, elapsed time.Duration) (time.Duration, bool) {
+	if total <= 0 || done <= 0 || elapsed <= 0 {
+		return 0, false
+	}
+	if done >= total {
+		return 0, true
+	}
+	// remaining = elapsed * (total-done)/done, in float to avoid
+	// intermediate overflow on long builds with large unit counts.
+	rem := float64(elapsed) * float64(total-done) / float64(done)
+	if !(rem > 0) || rem > float64(1<<62) {
+		return 0, true
+	}
+	return time.Duration(rem), true
+}

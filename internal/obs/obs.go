@@ -70,6 +70,15 @@ func (g *Gauge) Set(n int64) {
 	}
 }
 
+// Add adjusts the gauge by n (atomic; n may be negative). No-op on a
+// nil receiver. Use for gauges tracking a fluctuating population
+// (in-flight requests, queue depths).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
 // SetMax raises the gauge to n if n is larger (atomic high-water mark).
 func (g *Gauge) SetMax(n int64) {
 	if g == nil {
@@ -276,17 +285,27 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Span starts a new root span. Returns nil on a nil registry.
+// Span starts a new root span. Returns nil on a nil registry. Once
+// maxRootSpans roots are retained, further spans still time their
+// phase normally but are not kept for snapshots; every such drop is
+// counted on the "obs.spans_dropped" counter so a long-running
+// registry reports how much of its span history is missing instead of
+// losing it silently.
 func (r *Registry) Span(name string) *Span {
 	if r == nil {
 		return nil
 	}
 	s := newSpan(name)
 	r.mu.Lock()
-	if len(r.spans) < maxRootSpans {
+	dropped := len(r.spans) >= maxRootSpans
+	if !dropped {
 		r.spans = append(r.spans, s)
 	}
 	r.mu.Unlock()
+	if dropped {
+		// Outside r.mu: Counter takes the same lock.
+		r.Counter("obs.spans_dropped").Inc()
+	}
 	return s
 }
 

@@ -102,9 +102,12 @@ func (p *Progress) report(final bool) {
 		fmt.Fprintf(p.w, "%s: %d done in %s (%.1f/s)\n",
 			p.label, done, elapsed.Round(time.Millisecond), rate)
 	case p.total > 0:
+		// ETA guards against the zero-rate/zero-elapsed edge cases at
+		// the start of a long run and clamps overshoot (done > total)
+		// to zero instead of a negative estimate.
 		eta := "?"
-		if rate > 0 && done <= p.total {
-			eta = (time.Duration(float64(p.total-done)/rate*1e9) * time.Nanosecond).Round(time.Second).String()
+		if d, ok := ETA(done, p.total, elapsed); ok {
+			eta = d.Round(time.Second).String()
 		}
 		fmt.Fprintf(p.w, "%s: %d/%d (%.1f%%)  %.1f/s  ETA %s\n",
 			p.label, done, p.total, 100*float64(done)/float64(p.total), rate, eta)

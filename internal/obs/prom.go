@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promName sanitizes an instrument name into a legal Prometheus metric
+// name ([a-zA-Z_:][a-zA-Z0-9_:]*), mapping the registry's dotted names
+// onto underscores and prefixing the namespace: "bdd.apply_cache_hits"
+// → "socyield_bdd_apply_cache_hits".
+func promName(namespace, name string) string {
+	var b strings.Builder
+	if namespace != "" {
+		b.WriteString(namespace)
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if b.Len() == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes every instrument in the registry in the
+// Prometheus text exposition format (version 0.0.4). Counters export
+// as `counter`, gauges and float gauges as `gauge`, and the log2
+// histograms as cumulative `le`-bucketed `histogram` series with the
+// conventional `_sum`/`_count` pair. Output is sorted by metric name,
+// so the format is deterministic and golden-testable. A nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
+	snap := r.Snapshot()
+
+	type metric struct {
+		typ   string
+		lines []string
+	}
+	metrics := make(map[string]metric)
+
+	for name, v := range snap.Counters {
+		n := promName(namespace, name)
+		metrics[n] = metric{typ: "counter", lines: []string{
+			fmt.Sprintf("%s %d", n, v),
+		}}
+	}
+	for name, v := range snap.Gauges {
+		n := promName(namespace, name)
+		metrics[n] = metric{typ: "gauge", lines: []string{
+			fmt.Sprintf("%s %d", n, v),
+		}}
+	}
+	for name, v := range snap.FloatGauges {
+		n := promName(namespace, name)
+		metrics[n] = metric{typ: "gauge", lines: []string{
+			fmt.Sprintf("%s %s", n, strconv.FormatFloat(v, 'g', -1, 64)),
+		}}
+	}
+	for name, h := range snap.Histograms {
+		n := promName(namespace, name)
+		lines := make([]string, 0, len(h.Buckets)+3)
+		// The registry's buckets are [Lo, Hi) over integers, so the
+		// inclusive Prometheus bound is Hi-1; buckets are already in
+		// ascending order, which makes the cumulative sum a single pass.
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := strconv.FormatInt(b.Hi-1, 10)
+			if b.Hi-1 >= 1<<62 {
+				continue // tail bucket: covered by +Inf below
+			}
+			lines = append(lines, fmt.Sprintf("%s_bucket{le=\"%s\"} %d", n, le, cum))
+		}
+		lines = append(lines,
+			fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", n, h.Count),
+			fmt.Sprintf("%s_sum %d", n, h.Sum),
+			fmt.Sprintf("%s_count %d", n, h.Count),
+		)
+		metrics[n] = metric{typ: "histogram", lines: lines}
+	}
+
+	names := make([]string, 0, len(metrics))
+	for n := range metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := metrics[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, m.typ); err != nil {
+			return err
+		}
+		for _, line := range m.lines {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PrometheusHandler serves the registry in the Prometheus text format,
+// suitable for mounting at /metrics and scraping with a standard
+// prometheus.yml target. Works (serving an empty body) on a nil
+// registry.
+func (r *Registry) PrometheusHandler(namespace string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w, namespace)
+	})
+}

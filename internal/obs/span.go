@@ -81,6 +81,10 @@ type SpanSnapshot struct {
 	Name string `json:"name"`
 	// Seconds is the span duration (elapsed so far when still running).
 	Seconds float64 `json:"seconds"`
+	// StartUnixNano is the wall-clock start of the span, for exports
+	// that place spans on an absolute timeline (the Chrome trace
+	// writer).
+	StartUnixNano int64 `json:"start_unix_nano,omitempty"`
 	// Running marks spans that had not ended at snapshot time.
 	Running  bool           `json:"running,omitempty"`
 	Children []SpanSnapshot `json:"children,omitempty"`
@@ -95,7 +99,7 @@ func (s *Span) snapshot() SpanSnapshot {
 	if !ended {
 		dur = time.Since(s.start)
 	}
-	out := SpanSnapshot{Name: s.name, Seconds: dur.Seconds(), Running: !ended}
+	out := SpanSnapshot{Name: s.name, Seconds: dur.Seconds(), StartUnixNano: s.start.UnixNano(), Running: !ended}
 	for _, c := range children {
 		out.Children = append(out.Children, c.snapshot())
 	}

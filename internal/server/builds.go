@@ -1,0 +1,102 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"socyield/internal/obs"
+)
+
+// buildTracker is the server's registry of in-flight model builds.
+// Each single-flight build closure registers its BuildState here for
+// its lifetime, so GET /v1/builds can report what the server is
+// compiling right now — phase, elapsed time, work-unit progress, live
+// node count and the phase-weighted ETA — without touching the builds
+// themselves (BuildState snapshots are atomic reads).
+type buildTracker struct {
+	inflight *obs.Gauge
+
+	mu     sync.Mutex
+	builds map[string]*trackedBuild
+}
+
+type trackedBuild struct {
+	key     string
+	system  string
+	started time.Time
+	state   *obs.BuildState
+}
+
+func newBuildTracker(rec *obs.Registry) *buildTracker {
+	return &buildTracker{
+		inflight: rec.Gauge("build.inflight"),
+		builds:   make(map[string]*trackedBuild),
+	}
+}
+
+// add registers a starting build under its model key and returns the
+// BuildState the build pipeline should update.
+func (t *buildTracker) add(key, system string) *obs.BuildState {
+	bs := obs.NewBuildState()
+	t.mu.Lock()
+	t.builds[key] = &trackedBuild{key: key, system: system, started: time.Now(), state: bs}
+	t.inflight.Set(int64(len(t.builds)))
+	t.mu.Unlock()
+	return bs
+}
+
+// remove unregisters a finished (or failed) build.
+func (t *buildTracker) remove(key string) {
+	t.mu.Lock()
+	delete(t.builds, key)
+	t.inflight.Set(int64(len(t.builds)))
+	t.mu.Unlock()
+}
+
+// BuildInfo is one in-flight build in the GET /v1/builds response.
+type BuildInfo struct {
+	ModelKey string `json:"model_key"`
+	System   string `json:"system,omitempty"`
+	// StartedAt is the build's start time (RFC 3339).
+	StartedAt time.Time `json:"started_at"`
+	// Status carries phase, elapsed/phase seconds, work-unit progress,
+	// live node count, phase-weighted overall progress and ETA.
+	Status obs.BuildStatus `json:"status"`
+}
+
+// BuildsResponse is the body of GET /v1/builds.
+type BuildsResponse struct {
+	Builds []BuildInfo `json:"builds"`
+}
+
+// list snapshots the in-flight builds, oldest first.
+func (t *buildTracker) list() []BuildInfo {
+	t.mu.Lock()
+	tracked := make([]*trackedBuild, 0, len(t.builds))
+	for _, b := range t.builds {
+		tracked = append(tracked, b)
+	}
+	t.mu.Unlock()
+	sort.Slice(tracked, func(i, j int) bool {
+		if !tracked[i].started.Equal(tracked[j].started) {
+			return tracked[i].started.Before(tracked[j].started)
+		}
+		return tracked[i].key < tracked[j].key
+	})
+	out := make([]BuildInfo, len(tracked))
+	for i, b := range tracked {
+		out[i] = BuildInfo{
+			ModelKey:  b.key,
+			System:    b.system,
+			StartedAt: b.started,
+			Status:    b.state.Snapshot(),
+		}
+	}
+	return out
+}
+
+func (s *Server) handleBuilds(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, BuildsResponse{Builds: s.builds.list()})
+}

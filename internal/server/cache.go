@@ -32,6 +32,7 @@ type modelCache struct {
 	evictions *obs.Counter
 	builds    *obs.Counter
 	entries   *obs.Gauge
+	waiting   *obs.Gauge
 
 	capacity int
 
@@ -60,6 +61,7 @@ func newModelCache(capacity int, rec *obs.Registry) *modelCache {
 		evictions: rec.Counter("cache.evictions"),
 		builds:    rec.Counter("cache.builds"),
 		entries:   rec.Gauge("cache.entries"),
+		waiting:   rec.Gauge("build.queue_depth"),
 		capacity:  capacity,
 		byKey:     make(map[string]*list.Element),
 		lru:       list.New(),
@@ -117,6 +119,13 @@ func (c *modelCache) get(ctx context.Context, key string, build func() (*yield.R
 		}()
 	}
 
+	// build.queue_depth gauges how many requests are parked on builds
+	// still in flight (hit-path requests on ready entries fall through
+	// without touching it).
+	if !isClosed(entry.ready) {
+		c.waiting.Add(1)
+		defer c.waiting.Add(-1)
+	}
 	select {
 	case <-entry.ready:
 		return entry.re, hit, entry.err

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -223,10 +224,40 @@ func (s *Server) compiled(ctx context.Context, sys *yield.System, opts yield.Opt
 	buildOpts := opts
 	buildOpts.ForceM = m
 	buildOpts.ForceMSet = true
+	// The build publishes into the server registry and registers its
+	// BuildState with the tracker for the /v1/builds listing. The
+	// request id of the triggering request labels the build's log lines
+	// — later coalesced requests share the same build span.
+	buildOpts.Recorder = s.cfg.Metrics
+	buildOpts.Tracer = s.cfg.Tracer
+	reqID := requestID(ctx)
+	sysName := sys.Name
 	re, hit, err = s.cache.get(ctx, key, func() (*yield.Reevaluator, error) {
+		bs := s.builds.add(key, sysName)
+		defer s.builds.remove(key)
+		if s.testBuildHook != nil {
+			s.testBuildHook(bs)
+		}
+		bo := buildOpts
+		bo.BuildState = bs
+		s.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, "model build started",
+			slog.String("request_id", reqID),
+			slog.String("model_key", key),
+			slog.String("system", sysName),
+		)
 		t0 := time.Now()
-		re, err := yield.NewReevaluator(sys, buildOpts)
-		s.cfg.Metrics.Histogram("cache.build_ns").ObserveSince(t0)
+		re, err := yield.NewReevaluator(sys, bo)
+		dur := time.Since(t0)
+		s.cfg.Metrics.Histogram("cache.build_ns").Observe(int64(dur))
+		level, msg := slog.LevelInfo, "model build finished"
+		if err != nil {
+			level, msg = slog.LevelWarn, "model build failed"
+		}
+		s.cfg.Logger.LogAttrs(context.Background(), level, msg,
+			slog.String("request_id", reqID),
+			slog.String("model_key", key),
+			slog.Duration("duration", dur),
+		)
 		return re, err
 	})
 	if err != nil {

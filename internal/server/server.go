@@ -19,20 +19,29 @@
 //
 //	POST /v1/evaluate   evaluate one model (yield, bound, sensitivities)
 //	POST /v1/sweep      evaluate a λ grid on one shared compiled model
+//	GET  /v1/builds     in-flight model builds (phase, progress, ETA)
 //	GET  /healthz       liveness probe
-//	GET  /metrics       obs registry snapshot as JSON
+//	GET  /metrics       Prometheus text exposition of the obs registry
+//	GET  /metrics.json  obs registry snapshot as JSON
 //	GET  /debug/vars    expvar (includes the registry when published)
+//
+// Every response carries an X-Request-Id header (client-supplied or
+// generated); the same id appears in the request log line, and
+// requests slower than Config.SlowRequestThreshold additionally log at
+// warning level.
 package server
 
 import (
 	"context"
 	"errors"
 	"expvar"
+	"fmt"
 	"io"
 	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"socyield/internal/obs"
@@ -75,6 +84,13 @@ type Config struct {
 	// registry is created when nil; it is served on /metrics either
 	// way.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records per-worker build events of every
+	// model compile for the Chrome trace export (yieldd -trace-out).
+	Tracer *obs.Tracer
+	// SlowRequestThreshold is the duration beyond which a request is
+	// additionally logged at warning level (default 10s; negative
+	// disables slow-request logging).
+	SlowRequestThreshold time.Duration
 	// Logger receives one structured line per request. Nil discards.
 	Logger *slog.Logger
 	// ShutdownGrace bounds the drain on shutdown (default 10s).
@@ -114,6 +130,9 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
+	if c.SlowRequestThreshold == 0 {
+		c.SlowRequestThreshold = 10 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -127,16 +146,25 @@ func (c Config) withDefaults() Config {
 // serve immediately (Handler for embedding into an existing server,
 // ListenAndServe to run standalone).
 type Server struct {
-	cfg   Config
-	cache *modelCache
-	sem   chan struct{}
-	mux   *http.ServeMux
+	cfg    Config
+	cache  *modelCache
+	builds *buildTracker
+	sem    chan struct{}
+	mux    *http.ServeMux
+	reqSeq atomic.Uint64
 
 	requests  *obs.Counter
 	errors4xx *obs.Counter
 	errors5xx *obs.Counter
+	slow      *obs.Counter
 	inflight  *obs.Gauge
 	latency   *obs.Histogram
+
+	// testBuildHook, when set, runs at the start of every model build
+	// with the build's BuildState. Tests use it to pin a build at a
+	// known phase/progress and hold it there while they poll
+	// /v1/builds; it must never be set in production.
+	testBuildHook func(*obs.BuildState)
 }
 
 // New returns a Server for the given configuration.
@@ -146,21 +174,25 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		cache:     newModelCache(cfg.CacheEntries, rec),
+		builds:    newBuildTracker(rec),
 		sem:       make(chan struct{}, cfg.MaxConcurrent),
 		mux:       http.NewServeMux(),
 		requests:  rec.Counter("http.requests"),
 		errors4xx: rec.Counter("http.errors_4xx"),
 		errors5xx: rec.Counter("http.errors_5xx"),
+		slow:      rec.Counter("http.slow_requests"),
 		inflight:  rec.Gauge("http.inflight"),
 		latency:   rec.Histogram("http.request_ns"),
 	}
 	s.mux.HandleFunc("POST /v1/evaluate", s.limited(s.handleEvaluate))
 	s.mux.HandleFunc("POST /v1/sweep", s.limited(s.handleSweep))
+	s.mux.HandleFunc("GET /v1/builds", s.handleBuilds)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
-	s.mux.Handle("GET /metrics", rec.Handler())
+	s.mux.Handle("GET /metrics", rec.PrometheusHandler("socyield"))
+	s.mux.Handle("GET /metrics.json", rec.Handler())
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	return s
 }
@@ -168,24 +200,79 @@ func New(cfg Config) *Server {
 // Metrics returns the server's registry (the one /metrics serves).
 func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
 
-// Handler returns the server's HTTP handler with request logging and
-// instrumentation applied — mount it anywhere.
+// requestIDKey carries the request id through the handler context.
+type requestIDKey struct{}
+
+// requestID returns the id assigned to the request by Handler ("" when
+// the middleware did not run).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// endpointLabel maps a request path onto the bounded label set the
+// per-endpoint latency histograms use; unknown paths share "other" so
+// path probing cannot grow the registry without bound.
+func endpointLabel(path string) string {
+	switch path {
+	case "/v1/evaluate":
+		return "evaluate"
+	case "/v1/sweep":
+		return "sweep"
+	case "/v1/builds":
+		return "builds"
+	case "/healthz":
+		return "healthz"
+	case "/metrics":
+		return "metrics"
+	case "/metrics.json":
+		return "metrics_json"
+	case "/debug/vars":
+		return "debug_vars"
+	default:
+		return "other"
+	}
+}
+
+// Handler returns the server's HTTP handler with request-id
+// propagation, request logging and instrumentation applied — mount it
+// anywhere.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		// Honor a client-supplied id (so the caller can correlate its
+		// own logs) or mint a unique one; either way it comes back in
+		// the response header, flows through the context into build
+		// spans, and tags every log line for the request.
+		id := r.Header.Get("X-Request-Id")
+		if id == "" || len(id) > 128 {
+			id = fmt.Sprintf("req-%d-%d", start.UnixNano(), s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+
 		s.requests.Inc()
 		s.inflight.Set(int64(len(s.sem)))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		s.mux.ServeHTTP(sw, r)
 		dur := time.Since(start)
 		s.latency.Observe(int64(dur))
+		s.cfg.Metrics.Histogram("http.latency_ns." + endpointLabel(r.URL.Path)).Observe(int64(dur))
 		switch {
 		case sw.status >= 500:
 			s.errors5xx.Inc()
 		case sw.status >= 400:
 			s.errors4xx.Inc()
 		}
-		s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		level := slog.LevelInfo
+		msg := "request"
+		if s.cfg.SlowRequestThreshold > 0 && dur >= s.cfg.SlowRequestThreshold {
+			s.slow.Inc()
+			level = slog.LevelWarn
+			msg = "slow request"
+		}
+		s.cfg.Logger.LogAttrs(r.Context(), level, msg,
+			slog.String("request_id", id),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", sw.status),

@@ -59,17 +59,17 @@ func post(t *testing.T, ts *httptest.Server, path, body string, out any) int {
 
 func metricsSnapshot(t *testing.T, ts *httptest.Server) obs.Snapshot {
 	t.Helper()
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
-		t.Fatalf("GET /metrics: %v", err)
+		t.Fatalf("GET /metrics.json: %v", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+		t.Fatalf("GET /metrics.json: status %d", resp.StatusCode)
 	}
 	var snap obs.Snapshot
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		t.Fatalf("GET /metrics: %v", err)
+		t.Fatalf("GET /metrics.json: %v", err)
 	}
 	return snap
 }

@@ -44,10 +44,12 @@ func (p *prepared) buildModel(parent *obs.Span, g *encode.GFunc, plan *order.Pla
 		return p.buildModelConcurrent(parent, g, plan, res, spec, specErr, workers)
 	}
 
+	p.opts.BuildState.StartPhase(obs.BuildCompile, 0)
 	sp := parent.Child("compile")
 	t0 := time.Now()
 	bm := bdd.New(g.Netlist.NumInputs(), p.opts.bddManagerOptions()...)
-	broot, err := compile.Netlist(bm, g.Netlist, plan.BinaryLevels)
+	broot, err := compile.Netlist(bm, g.Netlist, plan.BinaryLevels,
+		compile.WithBuildState(p.opts.BuildState), compile.WithTracer(p.opts.Tracer))
 	res.Phases.Compile = time.Since(t0)
 	sp.End()
 	res.Stats.BDD = bm.Stats()
@@ -61,6 +63,7 @@ func (p *prepared) buildModel(parent *obs.Span, g *encode.GFunc, plan *order.Pla
 		return nil, mdd.False, specErr
 	}
 
+	p.opts.BuildState.StartPhase(obs.BuildConvert, 0)
 	sp = parent.Child("convert")
 	t0 = time.Now()
 	mm, err := mdd.New(spec.Domains, mdd.WithNodeLimit(p.opts.NodeLimit))
@@ -68,7 +71,8 @@ func (p *prepared) buildModel(parent *obs.Span, g *encode.GFunc, plan *order.Pla
 		sp.End()
 		return nil, mdd.False, err
 	}
-	mroot, err := convert.ToMDDWithStats(bm, broot, mm, spec, &res.Stats.Convert)
+	mroot, err := convert.ToMDDWithStats(bm, broot, mm, spec, &res.Stats.Convert,
+		convert.WithBuildState(p.opts.BuildState), convert.WithTracer(p.opts.Tracer))
 	res.Phases.Convert = time.Since(t0)
 	sp.End()
 	res.Stats.MDD = mm.BuildStats()
@@ -84,10 +88,14 @@ func (p *prepared) buildModel(parent *obs.Span, g *encode.GFunc, plan *order.Pla
 // buildModelConcurrent is the BuildWorkers ≥ 2 arm of buildModel, on
 // the concurrent engine. It mirrors the serial arm phase for phase.
 func (p *prepared) buildModelConcurrent(parent *obs.Span, g *encode.GFunc, plan *order.Plan, res *Result, spec convert.Spec, specErr error, workers int) (*mdd.Manager, mdd.Node, error) {
+	s := bdd.NewShared(g.Netlist.NumInputs(), p.opts.NodeLimit)
+	p.live.setShared(s)
+
+	p.opts.BuildState.StartPhase(obs.BuildCompile, 0)
 	sp := parent.Child("compile")
 	t0 := time.Now()
-	s := bdd.NewShared(g.Netlist.NumInputs(), p.opts.NodeLimit)
-	broot, cst, err := compile.NetlistParallel(s, g.Netlist, plan.BinaryLevels, workers)
+	broot, cst, err := compile.NetlistParallel(s, g.Netlist, plan.BinaryLevels, workers,
+		compile.WithBuildState(p.opts.BuildState), compile.WithTracer(p.opts.Tracer))
 	res.Phases.Compile = time.Since(t0)
 	sp.End()
 	res.Stats.BDD = s.Stats()
@@ -103,6 +111,7 @@ func (p *prepared) buildModelConcurrent(parent *obs.Span, g *encode.GFunc, plan 
 		return nil, mdd.False, specErr
 	}
 
+	p.opts.BuildState.StartPhase(obs.BuildConvert, 0)
 	sp = parent.Child("convert")
 	t0 = time.Now()
 	mm, err := mdd.New(spec.Domains, mdd.WithNodeLimit(p.opts.NodeLimit))
@@ -110,7 +119,8 @@ func (p *prepared) buildModelConcurrent(parent *obs.Span, g *encode.GFunc, plan 
 		sp.End()
 		return nil, mdd.False, err
 	}
-	mroot, err := convert.ToMDDParallel(s, broot, mm, spec, workers, &res.Stats.Convert)
+	mroot, err := convert.ToMDDParallel(s, broot, mm, spec, workers, &res.Stats.Convert,
+		convert.WithBuildState(p.opts.BuildState), convert.WithTracer(p.opts.Tracer))
 	res.Phases.Convert = time.Since(t0)
 	sp.End()
 	res.Stats.MDD = mm.BuildStats()

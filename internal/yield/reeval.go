@@ -7,6 +7,7 @@ import (
 	"socyield/internal/defects"
 	"socyield/internal/encode"
 	"socyield/internal/mdd"
+	"socyield/internal/obs"
 	"socyield/internal/order"
 )
 
@@ -42,8 +43,15 @@ type Reevaluator struct {
 // when set).
 func NewReevaluator(sys *System, opts Options) (*Reevaluator, error) {
 	rec := opts.Recorder
+	bs := opts.BuildState
+	// As in Evaluate: publisher start/stop stays outside the root span.
+	src := &liveSource{}
+	stopLive := startLivePublisher(rec, bs, src)
+	defer stopLive()
 	buildSpan := rec.Span("reevaluator-build")
 	defer buildSpan.End()
+	bs.StartPhase(obs.BuildPrepare, 0)
+	defer bs.Finish()
 
 	sp := buildSpan.Child("prepare")
 	t0 := time.Now()
@@ -53,6 +61,7 @@ func NewReevaluator(sys *System, opts Options) (*Reevaluator, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.live = src
 	sp = buildSpan.Child("encode")
 	t0 = time.Now()
 	g, err := encode.BuildG(sys.FaultTree, p.m)
@@ -82,6 +91,7 @@ func NewReevaluator(sys *System, opts Options) (*Reevaluator, error) {
 	// Freeze the ROMDD into an immutable compact snapshot: the manager
 	// (with its construction hash tables) becomes garbage, and every
 	// later evaluation is a goroutine-safe linear pass.
+	bs.StartPhase(obs.BuildEval, 0)
 	sp = buildSpan.Child("eval")
 	t0 = time.Now()
 	frozen := mm.Freeze(mroot)

@@ -144,6 +144,16 @@ type Options struct {
 	// the structural gauges of the result. A nil Recorder disables all
 	// metric recording at near-zero cost — hot paths guard on it.
 	Recorder *obs.Registry
+	// BuildState, when non-nil, receives live phase transitions and
+	// work-unit progress (gates compiled, conversion entry nodes) as
+	// the build runs; any goroutine may Snapshot it concurrently. This
+	// is what the yieldd /v1/builds endpoint and the flight-recorder
+	// sampler read. Excluded from ModelKey: it does not affect results.
+	BuildState *obs.BuildState
+	// Tracer, when non-nil, records per-worker timed work slices
+	// (compile tasks, conversion layer ranges) for the Chrome trace
+	// export. Excluded from ModelKey like Recorder and BuildState.
+	Tracer *obs.Tracer
 	// bddOptions carries extra engine options into the coded-ROBDD
 	// manager. Unexported: it exists so the equivalence tests can run
 	// the identical pipeline with bdd.WithoutComplementEdges and assert
@@ -244,6 +254,7 @@ type Result struct {
 // prepared carries the model quantities shared by all routes.
 type prepared struct {
 	opts   Options
+	live   *liveSource
 	pprime []float64 // P'_i by component ordinal
 	qprime []float64 // Q'_0..Q'_M
 	tail   float64
@@ -337,8 +348,17 @@ func groupMeta(g *encode.GFunc) (groupOf []int, bitOf []uint) {
 // registry.
 func Evaluate(sys *System, opts Options) (*Result, error) {
 	rec := opts.Recorder
+	bs := opts.BuildState
+	// The publisher starts (and its stop handshake runs) outside the
+	// root span, so live publishing does not eat into the inter-phase
+	// budget the span-coverage tests bound.
+	src := &liveSource{}
+	stopLive := startLivePublisher(rec, bs, src)
+	defer stopLive()
 	evalSpan := rec.Span("evaluate")
 	defer evalSpan.End()
+	bs.StartPhase(obs.BuildPrepare, 0)
+	defer bs.Finish()
 
 	sp := evalSpan.Child("prepare")
 	t0 := time.Now()
@@ -348,6 +368,7 @@ func Evaluate(sys *System, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.live = src
 
 	sp = evalSpan.Child("encode")
 	t0 = time.Now()
@@ -377,6 +398,7 @@ func Evaluate(sys *System, opts Options) (*Result, error) {
 		return res, err
 	}
 
+	bs.StartPhase(obs.BuildEval, 0)
 	sp = evalSpan.Child("eval")
 	t0 = time.Now()
 	pg1, err := mm.Prob(mroot, p.probTable(plan.GroupSeq))
