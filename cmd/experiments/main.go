@@ -43,6 +43,7 @@ import (
 	"socyield/internal/defects"
 	"socyield/internal/experiments"
 	"socyield/internal/obs"
+	"socyield/internal/store"
 	"socyield/internal/yield"
 )
 
@@ -70,6 +71,7 @@ func main() {
 		sampleInt  = flag.Duration("sample-interval", 0, "flight-recorder sampling interval (0 = 100ms default)")
 		progress   = flag.Bool("progress", false, "print periodic progress lines for sweeps")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and an expvar metrics dump on this address")
+		storeDir   = flag.String("store-dir", "", "persistent compiled-model store for -bench-json builds (shared with yieldd -store-dir)")
 	)
 	flag.Parse()
 	var rec *obs.Registry
@@ -81,6 +83,14 @@ func main() {
 	}
 	flight := cliutil.StartFlightRecorder(rec, *traceOut, *samplesOut, *sampleInt)
 	cfg := experiments.Config{Alpha: *alpha, Epsilon: *epsilon, NodeLimit: *nodeLimit, Workers: *workers, BuildWorkers: *buildWork, Recorder: rec, Tracer: flight.Tracer()}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, 0, rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Store = st
+	}
 	cases := experiments.QuickCases()
 	if *full || *all {
 		cases = experiments.PaperCases()
@@ -152,12 +162,15 @@ func main() {
 // ROMDD build, then the same sweep grid timed at increasing worker
 // counts (the timing trajectory).
 type sweepBench struct {
-	Benchmark   string  `json:"benchmark"`
-	LambdaPrime int     `json:"lambda_prime"`
-	Points      int     `json:"points"`
-	Cores       int     `json:"cores"`
-	ROMDDNodes  int     `json:"romdd_nodes"`
-	BuildSec    float64 `json:"build_seconds"`
+	Benchmark   string `json:"benchmark"`
+	LambdaPrime int    `json:"lambda_prime"`
+	Points      int    `json:"points"`
+	Cores       int    `json:"cores"`
+	ROMDDNodes  int    `json:"romdd_nodes"`
+	// ModelFromStore reports that -store-dir served the compiled model,
+	// so BuildSec measures a decode + restore, not a compile.
+	ModelFromStore bool    `json:"model_from_store,omitempty"`
+	BuildSec       float64 `json:"build_seconds"`
 	// Compile-path statistics of the one-time build: final coded-ROBDD
 	// node count, the live-node high-water mark split by phase (the
 	// compile peak is the paper's "ROBDD peak"), and the ITE operation
@@ -232,7 +245,7 @@ func benchOneCase(cs experiments.Case, points, maxWorkers int, progress bool, cf
 		return sweepBench{}, err
 	}
 	t0 := time.Now()
-	re, err := yield.NewReevaluator(sys, yield.Options{Defects: dist, Epsilon: eps, Recorder: cfg.Recorder})
+	re, fromStore, err := store.LoadOrBuild(cfg.Store, sys, yield.Options{Defects: dist, Epsilon: eps, Recorder: cfg.Recorder})
 	if err != nil {
 		return sweepBench{}, err
 	}
@@ -242,6 +255,7 @@ func benchOneCase(cs experiments.Case, points, maxWorkers int, progress bool, cf
 		Points:           points,
 		Cores:            runtime.NumCPU(),
 		ROMDDNodes:       re.Result.ROMDDSize,
+		ModelFromStore:   fromStore,
 		BuildSec:         time.Since(t0).Seconds(),
 		CodedROBDDNodes:  re.Result.CodedROBDDSize,
 		ROBDDPeakCompile: re.Result.Stats.CompilePeakLive,

@@ -21,6 +21,14 @@
 //	  "lambdas": [0.5, 1, 2, 4]
 //	}'
 //
+// With -store-dir the server adds a persistent second cache tier:
+// compiled models are written to disk (atomically, keyed by their
+// model key), tried there before any rebuild, and preloaded into the
+// in-memory cache at boot — restarts and sibling replicas sharing the
+// directory skip the compile entirely. -store-max-bytes caps the
+// directory as an on-disk LRU. Files saved by yieldsoc -save-model
+// into the same directory are served the same way.
+//
 // GET /healthz is a liveness probe; GET /metrics exposes the live
 // request/cache/evaluation instruments in Prometheus text format;
 // GET /metrics.json returns the same registry as a JSON snapshot;
@@ -44,6 +52,7 @@ import (
 	"socyield/internal/cliutil"
 	"socyield/internal/obs"
 	"socyield/internal/server"
+	"socyield/internal/store"
 )
 
 func main() {
@@ -62,6 +71,8 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file of the server's lifetime on shutdown (Perfetto-loadable)")
 		samplesOut = flag.String("samples-out", "", "write the sampled metrics time series as JSONL on shutdown")
 		sampleInt  = flag.Duration("sample-interval", 0, "flight-recorder sampling interval (0 = 100ms default)")
+		storeDir   = flag.String("store-dir", "", "persist compiled models to this directory (second cache tier, shared across restarts and replicas)")
+		storeMax   = flag.Int64("store-max-bytes", 0, "on-disk LRU size cap for -store-dir (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -87,6 +98,18 @@ func main() {
 	// covers every build the server ran.
 	flight := cliutil.StartFlightRecorder(metrics, *traceOut, *samplesOut, *sampleInt)
 
+	var modelStore *store.Store
+	if *storeDir != "" {
+		var err error
+		if modelStore, err = store.Open(*storeDir, *storeMax, metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "yieldd:", err)
+			os.Exit(1)
+		}
+	} else if *storeMax != 0 {
+		fmt.Fprintln(os.Stderr, "yieldd: -store-max-bytes requires -store-dir")
+		os.Exit(1)
+	}
+
 	srv := server.New(server.Config{
 		Addr:                 *addr,
 		CacheEntries:         *cacheSize,
@@ -95,6 +118,7 @@ func main() {
 		RequestTimeout:       *timeout,
 		SweepWorkers:         *sweepWork,
 		BuildWorkers:         *buildWork,
+		Store:                modelStore,
 		Metrics:              metrics,
 		Tracer:               flight.Tracer(),
 		Logger:               logger,

@@ -17,6 +17,13 @@
 // -sweep evaluates the yield for each listed λ on one shared ROMDD
 // (built once), fanning the points out over -workers goroutines.
 //
+// -save-model FILE persists the compiled model (the expensive build
+// artifact) in the versioned binary format of internal/store;
+// -load-model FILE restores it in milliseconds and evaluates
+// bit-identically to a fresh build. Saving into a directory stores the
+// model as <model-key>.scm — the layout yieldd -store-dir serves —
+// so a fleet's models can be pre-compiled offline.
+//
 // Instrumentation: -metrics-json FILE dumps every counter, gauge,
 // histogram and phase span collected during the run as JSON ("-" for
 // stdout); -trace-out FILE records the run as a Chrome trace-event
@@ -32,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -41,6 +49,7 @@ import (
 	"socyield/internal/obs"
 	"socyield/internal/order"
 	"socyield/internal/reliability"
+	"socyield/internal/store"
 	"socyield/internal/yield"
 )
 
@@ -49,6 +58,68 @@ func main() {
 		fmt.Fprintln(os.Stderr, "yieldsoc:", err)
 		os.Exit(1)
 	}
+}
+
+// loadCompiled restores a model saved by -save-model (or by a yieldd
+// store). The model's key must match the key of this run's flags —
+// a compiled model is only valid for the exact structure, orderings,
+// ε and truncation point it was built from.
+func loadCompiled(path, key string) (*yield.Reevaluator, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := store.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if snap.ModelKey != key {
+		return nil, fmt.Errorf("%s holds model %.12s… (system %q), these flags describe model %.12s… — rebuild with -save-model or match the original flags",
+			path, snap.ModelKey, snap.SystemName, key)
+	}
+	return yield.RestoreReevaluator(snap)
+}
+
+// saveCompiled persists the compiled model. A directory destination
+// stores it content-addressed (<key>.scm) — pointing -save-model at a
+// yieldd -store-dir pre-compiles models for the server. A file
+// destination writes atomically via a sibling temp file.
+func saveCompiled(path, key string, re *yield.Reevaluator) error {
+	snap := re.Snapshot()
+	snap.ModelKey = key
+	data, err := store.Encode(snap)
+	if err != nil {
+		return err
+	}
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		st, err := store.Open(path, 0, nil)
+		if err != nil {
+			return err
+		}
+		if err := st.Put(key, data); err != nil {
+			return err
+		}
+		fmt.Printf("model saved %s (%d bytes, key %s)\n", filepath.Join(path, key+".scm"), len(data), key[:12])
+		return nil
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".save-model-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	fmt.Printf("model saved %s (%d bytes, key %s)\n", path, len(data), key[:12])
+	return nil
 }
 
 func run() error {
@@ -76,6 +147,8 @@ func run() error {
 		sampleInt  = flag.Duration("sample-interval", 0, "flight-recorder sampling interval (0 = 100ms default)")
 		progress   = flag.Bool("progress", false, "print periodic progress lines for sweeps and Monte-Carlo runs")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and an expvar metrics dump on this address")
+		saveModel  = flag.String("save-model", "", "write the compiled model to this file after the build (an existing directory stores it under <model-key>.scm, yieldd -store-dir compatible)")
+		loadModel  = flag.String("load-model", "", "load a compiled model saved by -save-model instead of building (the flags must describe the model it was compiled from)")
 	)
 	flag.Parse()
 
@@ -118,12 +191,57 @@ func run() error {
 		Recorder:     rec,
 		Tracer:       flight.Tracer(),
 	}
-	start := time.Now()
-	res, err := yield.Evaluate(sys, opts)
+	ps := make([]float64, len(sys.Components))
+	for i, c := range sys.Components {
+		ps[i] = c.P
+	}
+
+	// One Reevaluator carries the whole run: the headline evaluation,
+	// -sensitivity, -sweep, and -save-model all share the same compiled
+	// model, built (or loaded) exactly once. ModelKey pins the
+	// truncation point so the compiled artifact is the one the key
+	// addresses — the same identity yieldd's store uses.
+	key, m, err := yield.ModelKey(sys, opts)
 	if err != nil {
 		return err
 	}
+	start := time.Now()
+	var re *yield.Reevaluator
+	if *loadModel != "" {
+		if re, err = loadCompiled(*loadModel, key); err != nil {
+			return err
+		}
+	} else {
+		buildOpts := opts
+		buildOpts.ForceM, buildOpts.ForceMSet = m, true
+		if re, err = yield.NewReevaluator(sys, buildOpts); err != nil {
+			return err
+		}
+	}
 	elapsed := time.Since(start)
+	res := *re.Result
+	if *loadModel != "" {
+		// The loaded model's stored summary reflects its build-time
+		// inputs; reevaluate under this run's flags (bit-identical to a
+		// fresh build — the store test battery holds the codec to that).
+		if res.Yield, res.ErrorBound, err = re.Yield(ps, dist); err != nil {
+			return err
+		}
+		pl := 0.0
+		for _, p := range ps {
+			pl += p
+		}
+		lethal, err := defects.Thin(dist, pl)
+		if err != nil {
+			return err
+		}
+		res.PL, res.LambdaPrime = pl, lethal.Mean()
+	}
+	if *saveModel != "" {
+		if err := saveCompiled(*saveModel, key, re); err != nil {
+			return err
+		}
+	}
 
 	fmt.Printf("system      %s (C=%d components, %d gates)\n", sys.Name, len(sys.Components), sys.FaultTree.NumGates())
 	fmt.Printf("defects     %v, P_L=%.4g, λ'=%.4g\n", dist, res.PL, res.LambdaPrime)
@@ -147,14 +265,6 @@ func run() error {
 			res.Phases.Eval.Round(time.Millisecond))
 	}
 	if *sens {
-		re, err := yield.NewReevaluator(sys, opts)
-		if err != nil {
-			return err
-		}
-		ps := make([]float64, len(sys.Components))
-		for i, c := range sys.Components {
-			ps[i] = c.P
-		}
 		ds, err := re.Sensitivities(ps, dist, 0)
 		if err != nil {
 			return err
@@ -181,14 +291,6 @@ func run() error {
 		lambdas, err := cliutil.ParseFloats(*sweep)
 		if err != nil {
 			return err
-		}
-		re, err := yield.NewReevaluator(sys, opts)
-		if err != nil {
-			return err
-		}
-		ps := make([]float64, len(sys.Components))
-		for i, c := range sys.Components {
-			ps[i] = c.P
 		}
 		dists := make([]defects.Distribution, len(lambdas))
 		for i, l := range lambdas {

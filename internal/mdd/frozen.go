@@ -68,6 +68,98 @@ func (m *Manager) Freeze(n Node) *Frozen {
 	return f
 }
 
+// FrozenData is the raw arena content of a Frozen snapshot, exposed
+// for serialization. Levels covers every node including the two
+// terminal slots (indices 0 and 1, whose level is len(Domains)); Kids
+// concatenates the child arrays of the internal nodes in node order.
+// The per-node child offsets are deliberately absent: they are a
+// prefix sum of the domain sizes along Levels, so FrozenFromData
+// recomputes them, removing a whole class of inconsistent input.
+type FrozenData struct {
+	Domains []int32
+	Levels  []int32
+	Kids    []int32
+	Root    int32
+}
+
+// Data returns the snapshot's arena for serialization. The returned
+// slices alias the snapshot's internal arrays and must not be
+// modified.
+func (f *Frozen) Data() FrozenData {
+	return FrozenData{Domains: f.domains, Levels: f.levels, Kids: f.kids, Root: f.root}
+}
+
+// FrozenFromData reconstructs a Frozen snapshot from its raw arena,
+// validating every structural invariant evaluation relies on, so that
+// a snapshot built from arbitrary (even hostile) input can never make
+// Prob, Eval, Size or ComputeStats read out of bounds or loop:
+//
+//   - every domain has ≥ 2 values (the Manager's own constraint);
+//   - nodes 0 and 1 are the terminals (level == len(Domains));
+//   - every internal node's level is a valid variable level;
+//   - the concatenated child arrays cover Kids exactly;
+//   - children strictly precede their parent (kid index < node index),
+//     which both guarantees Eval terminates and gives Prob its single
+//     forward pass;
+//   - internal children sit at strictly deeper levels than their
+//     parent (the ordered-diagram property Manager.MkNode enforces);
+//   - the root is a valid node index.
+//
+// The function takes ownership of the slices in d; callers must not
+// modify them afterwards.
+func FrozenFromData(d FrozenData) (*Frozen, error) {
+	const maxLen = 1<<31 - 1
+	if len(d.Domains) > maxLen || len(d.Levels) > maxLen || len(d.Kids) > maxLen {
+		return nil, fmt.Errorf("mdd: frozen data: arrays exceed int32 indexing")
+	}
+	nvars := int32(len(d.Domains))
+	for l, dom := range d.Domains {
+		if dom < 2 {
+			return nil, fmt.Errorf("mdd: frozen data: domain of level %d has size %d, need ≥ 2", l, dom)
+		}
+	}
+	if len(d.Levels) < 2 {
+		return nil, fmt.Errorf("mdd: frozen data: %d nodes, need the 2 terminals", len(d.Levels))
+	}
+	if d.Levels[0] != nvars || d.Levels[1] != nvars {
+		return nil, fmt.Errorf("mdd: frozen data: terminal levels (%d, %d) != %d", d.Levels[0], d.Levels[1], nvars)
+	}
+	kidsOff := make([]int32, len(d.Levels))
+	off := int64(0)
+	for i := 2; i < len(d.Levels); i++ {
+		lv := d.Levels[i]
+		if lv < 0 || lv >= nvars {
+			return nil, fmt.Errorf("mdd: frozen data: node %d at level %d outside [0,%d)", i, lv, nvars)
+		}
+		if off > int64(len(d.Kids)) {
+			return nil, fmt.Errorf("mdd: frozen data: child arrays need %d entries, Kids has %d", off, len(d.Kids))
+		}
+		kidsOff[i] = int32(off)
+		off += int64(d.Domains[lv])
+	}
+	if off != int64(len(d.Kids)) {
+		return nil, fmt.Errorf("mdd: frozen data: child arrays need %d entries, Kids has %d", off, len(d.Kids))
+	}
+	for i := 2; i < len(d.Levels); i++ {
+		end := int64(len(d.Kids))
+		if i+1 < len(d.Levels) {
+			end = int64(kidsOff[i+1])
+		}
+		for _, k := range d.Kids[kidsOff[i]:end] {
+			if k < 0 || int(k) >= i {
+				return nil, fmt.Errorf("mdd: frozen data: node %d has child %d outside [0,%d)", i, k, i)
+			}
+			if k >= 2 && d.Levels[k] <= d.Levels[i] {
+				return nil, fmt.Errorf("mdd: frozen data: node %d (level %d) has child %d at level %d, want deeper", i, d.Levels[i], k, d.Levels[k])
+			}
+		}
+	}
+	if d.Root < 0 || int(d.Root) >= len(d.Levels) {
+		return nil, fmt.Errorf("mdd: frozen data: root %d outside [0,%d)", d.Root, len(d.Levels))
+	}
+	return &Frozen{domains: d.Domains, levels: d.Levels, kidsOff: kidsOff, kids: d.Kids, root: d.Root}, nil
+}
+
 // NumVars returns the number of variable levels.
 func (f *Frozen) NumVars() int { return len(f.domains) }
 

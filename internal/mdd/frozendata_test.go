@@ -1,0 +1,142 @@
+package mdd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestFrozenDataRoundTrip: Data → FrozenFromData reproduces the
+// snapshot bit for bit — Prob, Eval, Size and ComputeStats all agree
+// exactly with the original.
+func TestFrozenDataRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		m, root := randomDiagram(t, rng)
+		f := m.Freeze(root)
+		g, err := FrozenFromData(f.Data())
+		if err != nil {
+			t.Fatalf("trial %d: FrozenFromData: %v", trial, err)
+		}
+		if g.NumNodes() != f.NumNodes() || g.Size() != f.Size() {
+			t.Fatalf("trial %d: sizes differ: %d/%d vs %d/%d", trial, g.NumNodes(), g.Size(), f.NumNodes(), f.Size())
+		}
+		probs := randomProbs(m, rng)
+		pf, err := f.Prob(probs)
+		if err != nil {
+			t.Fatalf("trial %d: orig Prob: %v", trial, err)
+		}
+		pg, err := g.Prob(probs)
+		if err != nil {
+			t.Fatalf("trial %d: rebuilt Prob: %v", trial, err)
+		}
+		if pf != pg {
+			t.Fatalf("trial %d: Prob differs: %v vs %v", trial, pg, pf)
+		}
+		assign := make([]int, m.NumVars())
+		for k := 0; k < 32; k++ {
+			for l := range assign {
+				assign[l] = rng.Intn(m.Domain(l))
+			}
+			vf, err := f.Eval(assign)
+			if err != nil {
+				t.Fatalf("trial %d: orig Eval: %v", trial, err)
+			}
+			vg, err := g.Eval(assign)
+			if err != nil {
+				t.Fatalf("trial %d: rebuilt Eval: %v", trial, err)
+			}
+			if vf != vg {
+				t.Fatalf("trial %d: Eval differs on %v", trial, assign)
+			}
+		}
+		sf, sg := f.ComputeStats(), g.ComputeStats()
+		if sf.Nodes != sg.Nodes || sf.MaxWidth != sg.MaxWidth || sf.AvgDegree != sg.AvgDegree {
+			t.Fatalf("trial %d: stats differ: %+v vs %+v", trial, sg, sf)
+		}
+	}
+}
+
+// TestFrozenDataTerminalRoot covers snapshots whose root is a bare
+// terminal (no internal nodes at all).
+func TestFrozenDataTerminalRoot(t *testing.T) {
+	m := MustNew([]int{2, 3})
+	for _, root := range []Node{False, True} {
+		f := m.Freeze(root)
+		g, err := FrozenFromData(f.Data())
+		if err != nil {
+			t.Fatalf("root %v: %v", root, err)
+		}
+		got, err := g.Eval([]int{0, 0})
+		if err != nil {
+			t.Fatalf("root %v: Eval: %v", root, err)
+		}
+		if got != (root == True) {
+			t.Fatalf("root %v: Eval = %v", root, got)
+		}
+	}
+}
+
+// TestFrozenDataRejects drives every validation clause of
+// FrozenFromData with a minimal violating input.
+func TestFrozenDataRejects(t *testing.T) {
+	// A valid baseline: one node at level 0 over domains {2,2},
+	// children False and True.
+	valid := func() FrozenData {
+		return FrozenData{
+			Domains: []int32{2, 2},
+			Levels:  []int32{2, 2, 0},
+			Kids:    []int32{0, 1},
+			Root:    2,
+		}
+	}
+	if _, err := FrozenFromData(valid()); err != nil {
+		t.Fatalf("baseline rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*FrozenData)
+		errPart string
+	}{
+		{"domain too small", func(d *FrozenData) { d.Domains[1] = 1 }, "need ≥ 2"},
+		{"missing terminals", func(d *FrozenData) { d.Levels = d.Levels[:1] }, "terminals"},
+		{"bad terminal level", func(d *FrozenData) { d.Levels[1] = 0 }, "terminal levels"},
+		{"level out of range", func(d *FrozenData) { d.Levels[2] = 5 }, "outside"},
+		{"negative level", func(d *FrozenData) { d.Levels[2] = -1 }, "outside"},
+		{"kids too short", func(d *FrozenData) { d.Kids = d.Kids[:1] }, "Kids has"},
+		{"kids too long", func(d *FrozenData) { d.Kids = append(d.Kids, 0) }, "Kids has"},
+		{"child is self", func(d *FrozenData) { d.Kids[0] = 2 }, "child"},
+		{"child negative", func(d *FrozenData) { d.Kids[1] = -3 }, "child"},
+		{"root out of range", func(d *FrozenData) { d.Root = 3 }, "root"},
+		{"root negative", func(d *FrozenData) { d.Root = -1 }, "root"},
+	}
+	for _, tc := range cases {
+		d := valid()
+		tc.mutate(&d)
+		_, err := FrozenFromData(d)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errPart) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.errPart)
+		}
+	}
+}
+
+// TestFrozenDataOrderingViolation: an internal child at a level not
+// strictly deeper than its parent is rejected (the ordered-diagram
+// property), even though indices alone are topological.
+func TestFrozenDataOrderingViolation(t *testing.T) {
+	d := FrozenData{
+		Domains: []int32{2, 2},
+		// Node 2 at level 1, node 3 at level 1 with node 2 as a child:
+		// topological by index but not ordered by level.
+		Levels: []int32{2, 2, 1, 1},
+		Kids:   []int32{0, 1, 2, 1},
+		Root:   3,
+	}
+	if _, err := FrozenFromData(d); err == nil || !strings.Contains(err.Error(), "deeper") {
+		t.Fatalf("ordering violation not rejected: %v", err)
+	}
+}

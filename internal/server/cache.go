@@ -134,6 +134,30 @@ func (c *modelCache) get(ctx context.Context, key string, build func() (*yield.R
 	}
 }
 
+// putReady inserts an already-built model as a ready entry — the
+// warm-start path, where boot loads compiled models from the
+// persistent store without any request (or build) in flight. A live
+// entry under the same key wins: it is either the same model (keys are
+// content addresses) or a build already racing, and both beat
+// replacing it.
+func (c *modelCache) putReady(key string, re *yield.Reevaluator) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byKey[key]; ok {
+		return
+	}
+	entry := &cacheEntry{key: key, ready: make(chan struct{}), re: re}
+	close(entry.ready)
+	c.byKey[key] = c.lru.PushFront(entry)
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		delete(c.byKey, back.Value.(*cacheEntry).key)
+		c.lru.Remove(back)
+		c.evictions.Inc()
+	}
+	c.entries.Set(int64(len(c.byKey)))
+}
+
 // remove drops a failed entry so a later identical request retries the
 // build instead of replaying the error forever. Only the exact entry
 // is removed — an unrelated successor under the same key stays.

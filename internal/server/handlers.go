@@ -233,6 +233,18 @@ func (s *Server) compiled(ctx context.Context, sys *yield.System, opts yield.Opt
 	reqID := requestID(ctx)
 	sysName := sys.Name
 	re, hit, err = s.cache.get(ctx, key, func() (*yield.Reevaluator, error) {
+		// Second tier: a model another replica (or a past life of this
+		// one) already compiled loads in milliseconds. The probe sits
+		// inside the single-flight slot, so coalesced requests share one
+		// load-or-build across both tiers.
+		if re := s.loadFromStore(key, reqID); re != nil {
+			s.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, "model loaded from store",
+				slog.String("request_id", reqID),
+				slog.String("model_key", key),
+				slog.String("system", sysName),
+			)
+			return re, nil
+		}
 		bs := s.builds.add(key, sysName)
 		defer s.builds.remove(key)
 		if s.testBuildHook != nil {
@@ -246,6 +258,7 @@ func (s *Server) compiled(ctx context.Context, sys *yield.System, opts yield.Opt
 			slog.String("system", sysName),
 		)
 		t0 := time.Now()
+		s.cfg.Metrics.Counter("build.compiles").Inc()
 		re, err := yield.NewReevaluator(sys, bo)
 		dur := time.Since(t0)
 		s.cfg.Metrics.Histogram("cache.build_ns").Observe(int64(dur))
@@ -258,6 +271,9 @@ func (s *Server) compiled(ctx context.Context, sys *yield.System, opts yield.Opt
 			slog.String("model_key", key),
 			slog.Duration("duration", dur),
 		)
+		if err == nil {
+			s.saveToStore(key, reqID, re)
+		}
 		return re, err
 	})
 	if err != nil {

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"socyield/internal/obs"
+	"socyield/internal/store"
 )
 
 // Config configures a Server. The zero value listens on :8344 with
@@ -80,6 +81,13 @@ type Config struct {
 	MaxSweepPoints int
 	// MaxBodyBytes bounds a request body (default 1 MiB).
 	MaxBodyBytes int64
+	// Store, when non-nil, is the persistent second cache tier: on an
+	// LRU miss the server tries a stored compiled model before
+	// rebuilding, writes freshly compiled models through, and
+	// warm-starts the cache from the newest stored models at
+	// construction. Open it with store.Open so the server, the store
+	// and /metrics share one registry.
+	Store *store.Store
 	// Metrics receives request, cache and evaluation counters. A new
 	// registry is created when nil; it is served on /metrics either
 	// way.
@@ -194,6 +202,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /metrics", rec.PrometheusHandler("socyield"))
 	s.mux.Handle("GET /metrics.json", rec.Handler())
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.warmStart()
 	return s
 }
 

@@ -1,0 +1,166 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"socyield/internal/defects"
+	"socyield/internal/yield"
+)
+
+var fixtureOnce struct {
+	sync.Once
+	enc []byte
+}
+
+// fixture returns one small encoded model, compiled once per test
+// binary. Tests must not mutate the returned slice — clone first.
+func fixture(t *testing.T) []byte {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		rng := rand.New(rand.NewSource(7))
+		sys := randomSystem(rng)
+		d, err := defects.NewNegativeBinomial(1.5, 2.5)
+		if err != nil {
+			t.Fatalf("NewNegativeBinomial: %v", err)
+		}
+		snap, _ := buildSnapshot(t, sys, yield.Options{Defects: d, Epsilon: 2e-3})
+		enc, err := Encode(snap)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		fixtureOnce.enc = enc
+	})
+	if fixtureOnce.enc == nil {
+		t.Fatal("fixture build failed in an earlier test")
+	}
+	return fixtureOnce.enc
+}
+
+// refit recomputes the trailer checksum in place so structural
+// mutations are tested on their own, not shadowed by ErrChecksum.
+func refit(data []byte) []byte {
+	if len(data) < trailerLen {
+		return data
+	}
+	body := data[:len(data)-trailerLen]
+	binary.LittleEndian.PutUint32(data[len(data)-trailerLen:], crc32.Checksum(body, castagnoli))
+	return data
+}
+
+// TestDecodeCorruptionBattery checks that each distinct failure mode
+// surfaces as its own typed error, so callers can tell an incompatible
+// store (version/revision skew: expected in rolling upgrades) from a
+// damaged one.
+func TestDecodeCorruptionBattery(t *testing.T) {
+	base := fixture(t)
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"empty input", func(d []byte) []byte { return nil }, ErrTruncated},
+		{"below minimum length", func(d []byte) []byte { return d[:headerLen+trailerLen-1] }, ErrTruncated},
+		{"bad magic", func(d []byte) []byte { d[0] = 'X'; return d }, ErrBadMagic},
+		{"future format version", func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[4:8], FormatVersion+1)
+			return refit(d)
+		}, ErrVersion},
+		{"flipped body byte", func(d []byte) []byte { d[headerLen+3] ^= 0x40; return d }, ErrChecksum},
+		{"flipped checksum byte", func(d []byte) []byte { d[len(d)-1] ^= 0x01; return d }, ErrChecksum},
+		// The engine revision is the first body field; the fixture's
+		// value (6) fits one varint byte, so patching that byte and
+		// refitting the checksum yields a well-formed file from a
+		// "different pipeline".
+		{"wrong engine revision", func(d []byte) []byte {
+			d[headerLen] = byte(yield.EngineRevision + 1)
+			return refit(d)
+		}, ErrEngineRevision},
+		{"trailing bytes after root", func(d []byte) []byte {
+			d = append(d[:len(d)-trailerLen], 0x00, 0, 0, 0, 0)
+			return refit(d)
+		}, ErrCorrupt},
+		{"inflated string length", func(d []byte) []byte {
+			// The model-key length prefix follows the 1-byte revision;
+			// 0xFF 0xFF 0x7F declares ~2M bytes — over maxStringLen.
+			d = append(d[:headerLen+1],
+				append([]byte{0xFF, 0xFF, 0x7F}, d[headerLen+2:]...)...)
+			return refit(d)
+		}, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		data := tc.mutate(append([]byte(nil), base...))
+		snap, err := Decode(data)
+		if err == nil {
+			t.Errorf("%s: Decode accepted the mutation (snapshot %+v)", tc.name, snap)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestDecodeTruncationEverywhere cuts the encoding at every possible
+// length — crossing every section boundary and every mid-varint
+// position — refits the checksum so the cut is structural rather than
+// a checksum miss, and requires a clean typed error each time. This is
+// the "no panic, no unbounded allocation" guarantee exercised
+// exhaustively rather than sampled.
+func TestDecodeTruncationEverywhere(t *testing.T) {
+	base := fixture(t)
+	for cut := 0; cut < len(base); cut++ {
+		data := append([]byte(nil), base[:cut]...)
+		if cut >= headerLen+trailerLen {
+			refit(data)
+		}
+		snap, err := Decode(data)
+		if err == nil {
+			t.Fatalf("cut at %d of %d: Decode accepted a truncation (snapshot %+v)", cut, len(base), snap)
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut at %d of %d: got %v, want ErrTruncated or ErrCorrupt", cut, len(base), err)
+		}
+	}
+}
+
+// TestDecodeStructuralMutations flips individual body bytes (with the
+// checksum refitted) across the whole file and requires Decode to
+// either reject with a typed error or produce a snapshot that passed
+// full validation — never panic, never return garbage silently.
+func TestDecodeStructuralMutations(t *testing.T) {
+	base := fixture(t)
+	rng := rand.New(rand.NewSource(99))
+	typed := []error{ErrTruncated, ErrBadMagic, ErrVersion, ErrEngineRevision, ErrCorrupt}
+	for trial := 0; trial < 500; trial++ {
+		data := append([]byte(nil), base...)
+		for flips := 1 + rng.Intn(3); flips > 0; flips-- {
+			data[rng.Intn(len(data)-trailerLen)] ^= byte(1 << rng.Intn(8))
+		}
+		refit(data)
+		snap, err := Decode(data)
+		if err == nil {
+			// The mutation happened to keep every invariant (e.g. it
+			// only touched a float or a name byte); the snapshot must
+			// then be fully usable.
+			if _, rerr := yield.RestoreReevaluator(snap); rerr != nil {
+				t.Fatalf("trial %d: Decode accepted bytes RestoreReevaluator rejects: %v", trial, rerr)
+			}
+			continue
+		}
+		ok := false
+		for _, want := range typed {
+			if errors.Is(err, want) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("trial %d: untyped decode error %v", trial, err)
+		}
+	}
+}

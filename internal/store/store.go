@@ -1,0 +1,277 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"socyield/internal/obs"
+)
+
+// ErrNotFound reports that a key has no entry in the store.
+var ErrNotFound = errors.New("store: model not found")
+
+// ext is the on-disk suffix of one compiled model ("socyield compiled
+// model").
+const ext = ".scm"
+
+// Store is a disk-backed cache of encoded compiled models,
+// content-addressed by model key: entry k lives at <dir>/<k>.scm.
+// Writes are atomic (temp file in the same directory, then rename), so
+// a crash mid-Put leaves either the old entry or the new one, never a
+// torn file; readers on other replicas sharing the directory see only
+// complete files.
+//
+// The store is a size-capped LRU: when the total size exceeds
+// MaxBytes after a Put, the least recently used entries are evicted
+// until it fits (recency = file modification time, refreshed by Get).
+// All methods are safe for concurrent use.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	hits       *obs.Counter
+	misses     *obs.Counter
+	puts       *obs.Counter
+	getBytes   *obs.Counter
+	putBytes   *obs.Counter
+	evictions  *obs.Counter
+	errCount   *obs.Counter
+	entryGauge *obs.Gauge
+	byteGauge  *obs.Gauge
+
+	mu sync.Mutex
+}
+
+// Open creates (if needed) and opens a store rooted at dir. maxBytes
+// caps the total size of the stored models (≤ 0 = unlimited; the most
+// recently written entry is never evicted, so one oversized model
+// still persists alone). The registry receives the store.* instruments
+// (nil disables metrics — obs instruments are nil-safe).
+func Open(dir string, maxBytes int64, rec *obs.Registry) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:        dir,
+		maxBytes:   maxBytes,
+		hits:       rec.Counter("store.hits"),
+		misses:     rec.Counter("store.misses"),
+		puts:       rec.Counter("store.puts"),
+		getBytes:   rec.Counter("store.get_bytes"),
+		putBytes:   rec.Counter("store.put_bytes"),
+		evictions:  rec.Counter("store.evictions"),
+		errCount:   rec.Counter("store.errors"),
+		entryGauge: rec.Gauge("store.entries"),
+		byteGauge:  rec.Gauge("store.bytes"),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := s.scan()
+	if err != nil {
+		return nil, err
+	}
+	s.publish(entries)
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Entry describes one stored model.
+type Entry struct {
+	// Key is the model key the entry is addressed by.
+	Key string
+	// Bytes is the encoded size on disk.
+	Bytes int64
+	// LastUsed is the LRU recency stamp (write or last Get).
+	LastUsed time.Time
+}
+
+// validKey guards the content-addressed namespace (and with it the
+// filesystem): keys are the hex model hashes plus the odd test key —
+// never path separators, dots or anything else the filesystem could
+// interpret.
+func validKey(key string) error {
+	if key == "" || len(key) > 128 {
+		return fmt.Errorf("store: invalid key length %d", len(key))
+	}
+	for _, c := range key {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '-', c == '_':
+		default:
+			return fmt.Errorf("store: invalid key %q", key)
+		}
+	}
+	return nil
+}
+
+func (s *Store) path(key string) string { return filepath.Join(s.dir, key+ext) }
+
+// Put atomically writes the encoded model under key and then enforces
+// the size cap, evicting least-recently-used entries (never the one
+// just written).
+func (s *Store) Put(key string, data []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		s.errCount.Inc()
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), s.path(key))
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		s.errCount.Inc()
+		return fmt.Errorf("store: %w", werr)
+	}
+	s.puts.Inc()
+	s.putBytes.Add(int64(len(data)))
+	return s.enforceCap(key)
+}
+
+// Get returns the encoded model stored under key (ErrNotFound when
+// absent) and refreshes its LRU recency.
+func (s *Store) Get(key string) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.misses.Inc()
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		s.errCount.Inc()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	now := time.Now()
+	os.Chtimes(s.path(key), now, now) // best-effort recency bump
+	s.hits.Inc()
+	s.getBytes.Add(int64(len(data)))
+	return data, nil
+}
+
+// Evict removes the entry stored under key (no error when absent).
+func (s *Store) Evict(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(s.path(key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		s.errCount.Inc()
+		return fmt.Errorf("store: %w", err)
+	}
+	entries, err := s.scan()
+	if err != nil {
+		return err
+	}
+	s.publish(entries)
+	return nil
+}
+
+// List returns the stored entries, most recently used first.
+func (s *Store) List() ([]Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := s.scan()
+	if err != nil {
+		return nil, err
+	}
+	s.publish(entries)
+	return entries, nil
+}
+
+// scan reads the directory into Entry records, most recently used
+// first (ties broken by key for determinism). Caller holds s.mu.
+func (s *Store) scan() ([]Entry, error) {
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		s.errCount.Inc()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	entries := make([]Entry, 0, len(dirents))
+	for _, de := range dirents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ext) {
+			continue
+		}
+		key := strings.TrimSuffix(name, ext)
+		if validKey(key) != nil {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with an eviction
+		}
+		entries = append(entries, Entry{Key: key, Bytes: info.Size(), LastUsed: info.ModTime()})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].LastUsed.Equal(entries[j].LastUsed) {
+			return entries[i].LastUsed.After(entries[j].LastUsed)
+		}
+		return entries[i].Key < entries[j].Key
+	})
+	return entries, nil
+}
+
+// enforceCap evicts least-recently-used entries until the store fits
+// MaxBytes, sparing keep (the entry just written). Caller holds s.mu.
+func (s *Store) enforceCap(keep string) error {
+	entries, err := s.scan()
+	if err != nil {
+		return err
+	}
+	if s.maxBytes > 0 {
+		total := int64(0)
+		for _, e := range entries {
+			total += e.Bytes
+		}
+		for i := len(entries) - 1; i >= 0 && total > s.maxBytes; i-- {
+			if entries[i].Key == keep {
+				continue
+			}
+			if err := os.Remove(s.path(entries[i].Key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				s.errCount.Inc()
+				return fmt.Errorf("store: %w", err)
+			}
+			total -= entries[i].Bytes
+			s.evictions.Inc()
+			entries = append(entries[:i], entries[i+1:]...)
+		}
+	}
+	s.publish(entries)
+	return nil
+}
+
+// publish refreshes the size gauges from a scan result.
+func (s *Store) publish(entries []Entry) {
+	total := int64(0)
+	for _, e := range entries {
+		total += e.Bytes
+	}
+	s.entryGauge.Set(int64(len(entries)))
+	s.byteGauge.Set(total)
+}

@@ -1,0 +1,241 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"socyield/internal/obs"
+)
+
+func openStore(t *testing.T, maxBytes int64) (*Store, *obs.Registry) {
+	t.Helper()
+	rec := obs.NewRegistry()
+	s, err := Open(t.TempDir(), maxBytes, rec)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s, rec
+}
+
+// stamp backdates an entry's LRU recency to a fixed offset so
+// eviction order is deterministic regardless of filesystem timestamp
+// granularity.
+func stamp(t *testing.T, s *Store, key string, age time.Duration) {
+	t.Helper()
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(filepath.Join(s.Dir(), key+ext), when, when); err != nil {
+		t.Fatalf("Chtimes(%s): %v", key, err)
+	}
+}
+
+func TestStorePutGetEvictList(t *testing.T) {
+	s, rec := openStore(t, 0)
+	if _, err := s.Get("absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
+	}
+	if err := s.Put("alpha", []byte("aaaa")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Put("beta", []byte("bb")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get("alpha")
+	if err != nil || string(got) != "aaaa" {
+		t.Fatalf("Get(alpha) = %q, %v", got, err)
+	}
+	// Overwrite replaces in place.
+	if err := s.Put("alpha", []byte("a2")); err != nil {
+		t.Fatalf("Put overwrite: %v", err)
+	}
+	got, err = s.Get("alpha")
+	if err != nil || string(got) != "a2" {
+		t.Fatalf("Get after overwrite = %q, %v", got, err)
+	}
+	entries, err := s.List()
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("List = %v, %v", entries, err)
+	}
+	if err := s.Evict("alpha"); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	if err := s.Evict("alpha"); err != nil {
+		t.Fatalf("Evict of absent key: %v", err)
+	}
+	if _, err := s.Get("alpha"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Evict = %v, want ErrNotFound", err)
+	}
+	if got := rec.Counter("store.hits").Load(); got != 2 {
+		t.Errorf("store.hits = %d, want 2", got)
+	}
+	if got := rec.Counter("store.misses").Load(); got != 2 {
+		t.Errorf("store.misses = %d, want 2", got)
+	}
+	if got := rec.Counter("store.puts").Load(); got != 3 {
+		t.Errorf("store.puts = %d, want 3", got)
+	}
+	if got := rec.Gauge("store.entries").Load(); got != 1 {
+		t.Errorf("store.entries = %d, want 1", got)
+	}
+	if got := rec.Gauge("store.bytes").Load(); got != 2 {
+		t.Errorf("store.bytes = %d, want 2", got)
+	}
+}
+
+func TestStoreKeyValidation(t *testing.T) {
+	s, _ := openStore(t, 0)
+	long := make([]byte, 129)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, key := range []string{"", "../escape", "a/b", "a.b", "a b", "a\x00b", string(long)} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted", key)
+		}
+		if _, err := s.Get(key); err == nil || errors.Is(err, ErrNotFound) {
+			t.Errorf("Get(%q): want a validation error, got %v", key, err)
+		}
+	}
+	// Non-model files in the directory are ignored, not served.
+	if err := os.WriteFile(filepath.Join(s.Dir(), "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s.List()
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("List with stray file = %v, %v", entries, err)
+	}
+}
+
+func TestStoreLRUCap(t *testing.T) {
+	s, rec := openStore(t, 10)
+	payload := []byte("xxx") // 3 bytes each; three fit under the cap
+	for i, key := range []string{"old", "mid", "new"} {
+		if err := s.Put(key, payload); err != nil {
+			t.Fatalf("Put(%s): %v", key, err)
+		}
+		stamp(t, s, key, time.Duration(3-i)*time.Hour)
+	}
+	// Touch "old" so "mid" becomes the least recently used.
+	if _, err := s.Get("old"); err != nil {
+		t.Fatalf("Get(old): %v", err)
+	}
+	// The fourth entry pushes the total to 12 > 10: exactly one
+	// eviction, and it must take "mid", not the freshly used "old".
+	if err := s.Put("fresh", payload); err != nil {
+		t.Fatalf("Put(fresh): %v", err)
+	}
+	entries, err := s.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	keys := map[string]bool{}
+	for _, e := range entries {
+		keys[e.Key] = true
+	}
+	if len(keys) != 3 || !keys["fresh"] || !keys["old"] || !keys["new"] {
+		t.Fatalf("after cap enforcement: %v, want {fresh, old, new}", keys)
+	}
+	if got := rec.Counter("store.evictions").Load(); got != 1 {
+		t.Errorf("store.evictions = %d, want 1", got)
+	}
+	if got := rec.Gauge("store.bytes").Load(); got != 9 {
+		t.Errorf("store.bytes = %d, want 9", got)
+	}
+}
+
+// TestStoreOversizedEntrySurvivesAlone: the just-written entry is never
+// evicted, even when it alone exceeds the cap.
+func TestStoreOversizedEntrySurvivesAlone(t *testing.T) {
+	s, _ := openStore(t, 4)
+	if err := s.Put("small", []byte("xx")); err != nil {
+		t.Fatalf("Put(small): %v", err)
+	}
+	stamp(t, s, "small", time.Hour)
+	if err := s.Put("huge", []byte("0123456789")); err != nil {
+		t.Fatalf("Put(huge): %v", err)
+	}
+	entries, err := s.List()
+	if err != nil || len(entries) != 1 || entries[0].Key != "huge" {
+		t.Fatalf("List = %v, %v; want just huge", entries, err)
+	}
+}
+
+// TestStoreReopenSeesEntries: the store is plain files; a new process
+// (here: a second Open on the same directory) inherits everything.
+func TestStoreReopenSeesEntries(t *testing.T) {
+	rec := obs.NewRegistry()
+	dir := t.TempDir()
+	s1, err := Open(dir, 0, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s1.Put("persisted", []byte("data")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	s2, err := Open(dir, 0, rec)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, err := s2.Get("persisted")
+	if err != nil || string(got) != "data" {
+		t.Fatalf("Get after reopen = %q, %v", got, err)
+	}
+	if got := rec.Gauge("store.entries").Load(); got != 1 {
+		t.Errorf("store.entries after reopen = %d, want 1", got)
+	}
+}
+
+// TestStoreNoTempLeftovers: every Put, including overwrites, cleans up
+// its temp file (atomicity means rename, not copy).
+func TestStoreNoTempLeftovers(t *testing.T) {
+	s, _ := openStore(t, 0)
+	for i := 0; i < 5; i++ {
+		if err := s.Put("k", []byte("payload")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	dirents, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range dirents {
+		if de.Name() != "k"+ext {
+			t.Errorf("unexpected file %q in store directory", de.Name())
+		}
+	}
+}
+
+// TestStoreConcurrent hammers one store from many goroutines; the race
+// detector plus the absence of decode errors is the assertion.
+func TestStoreConcurrent(t *testing.T) {
+	s, _ := openStore(t, 1<<20)
+	var wg sync.WaitGroup
+	keys := []string{"a", "b", "c", "d"}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := keys[(g+i)%len(keys)]
+				switch i % 3 {
+				case 0:
+					if err := s.Put(key, []byte(key)); err != nil {
+						t.Errorf("Put: %v", err)
+					}
+				case 1:
+					if data, err := s.Get(key); err == nil && string(data) != key {
+						t.Errorf("Get(%s) = %q", key, data)
+					}
+				default:
+					if _, err := s.List(); err != nil {
+						t.Errorf("List: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

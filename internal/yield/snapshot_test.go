@@ -1,0 +1,109 @@
+package yield
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"socyield/internal/defects"
+)
+
+// TestSnapshotRestoreBitIdentical: a restored Reevaluator evaluates
+// exactly (==) like the one it was snapshotted from, across
+// distributions, raw inputs and sweeps.
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		sys := randomSystem(rng)
+		opts := Options{Defects: nb(0.5+2*rng.Float64(), 0.5+3*rng.Float64()), Epsilon: 1e-3}
+		re, err := NewReevaluator(sys, opts)
+		if err != nil {
+			t.Fatalf("trial %d: NewReevaluator: %v", trial, err)
+		}
+		snap := re.Snapshot()
+		if snap.EngineRevision != EngineRevision {
+			t.Fatalf("trial %d: snapshot revision %d", trial, snap.EngineRevision)
+		}
+		got, err := RestoreReevaluator(snap)
+		if err != nil {
+			t.Fatalf("trial %d: RestoreReevaluator: %v", trial, err)
+		}
+		if got.M() != re.M() || got.NumComponents() != re.NumComponents() {
+			t.Fatalf("trial %d: M/C differ: %d/%d vs %d/%d", trial, got.M(), got.NumComponents(), re.M(), re.NumComponents())
+		}
+		if got.Result.Yield != re.Result.Yield || got.Result.ErrorBound != re.Result.ErrorBound ||
+			got.Result.ROMDDSize != re.Result.ROMDDSize {
+			t.Fatalf("trial %d: build summary differs", trial)
+		}
+		ps := make([]float64, len(sys.Components))
+		for i, c := range sys.Components {
+			ps[i] = c.P
+		}
+		dists := []defects.Distribution{
+			nb(1.5, 2.5), mustPoisson(t, 0.8), defects.Geometric{Lambda: 1.2}, defects.Deterministic{N: 2},
+		}
+		for _, dist := range dists {
+			y1, b1, err1 := re.Yield(ps, dist)
+			y2, b2, err2 := got.Yield(ps, dist)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("trial %d: error mismatch: %v vs %v", trial, err1, err2)
+			}
+			if y1 != y2 || b1 != b2 {
+				t.Fatalf("trial %d: %v: yield %v/%v vs %v/%v", trial, dist, y2, b2, y1, b1)
+			}
+		}
+		points := LambdaGrid(ps, dists)
+		r1 := re.Sweep(points, SweepOptions{Workers: 2})
+		r2 := got.Sweep(points, SweepOptions{Workers: 3})
+		for i := range r1 {
+			if r1[i] != r2[i] {
+				t.Fatalf("trial %d: sweep point %d differs: %+v vs %+v", trial, i, r2[i], r1[i])
+			}
+		}
+	}
+}
+
+func mustPoisson(t *testing.T, lambda float64) defects.Distribution {
+	t.Helper()
+	d, err := defects.NewPoisson(lambda)
+	if err != nil {
+		t.Fatalf("NewPoisson: %v", err)
+	}
+	return d
+}
+
+// TestSnapshotValidateRejects exercises every cross-check.
+func TestSnapshotValidateRejects(t *testing.T) {
+	sys := tmrSystem(0.2, 0.2, 0.1)
+	re, err := NewReevaluator(sys, Options{Defects: nb(2, 2), Epsilon: 5e-3})
+	if err != nil {
+		t.Fatalf("NewReevaluator: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Snapshot)
+		errPart string
+	}{
+		{"wrong revision", func(s *Snapshot) { s.EngineRevision++ }, "engine revision"},
+		{"nil frozen", func(s *Snapshot) { s.Frozen = nil }, "no ROMDD"},
+		{"too few components", func(s *Snapshot) { s.Components = 1 }, "components"},
+		{"negative M", func(s *Snapshot) { s.M = -1 }, "M = -1"},
+		{"short group seq", func(s *Snapshot) { s.GroupSeq = s.GroupSeq[:1] }, "GroupSeq"},
+		{"group out of range", func(s *Snapshot) { s.GroupSeq[0] = s.M + 1 }, "outside"},
+		{"repeated group", func(s *Snapshot) { s.GroupSeq[1] = s.GroupSeq[0] }, "repeats"},
+		{"component mismatch", func(s *Snapshot) { s.Components += 3 }, "domain"},
+		{"size mismatch", func(s *Snapshot) { s.Build.ROMDDSize++ }, "nodes"},
+	}
+	for _, tc := range cases {
+		snap := re.Snapshot()
+		tc.mutate(snap)
+		_, err := RestoreReevaluator(snap)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errPart) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.errPart)
+		}
+	}
+}

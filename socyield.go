@@ -48,6 +48,7 @@ import (
 	"socyield/internal/order"
 	"socyield/internal/reliability"
 	"socyield/internal/server"
+	"socyield/internal/store"
 	"socyield/internal/yield"
 )
 
@@ -204,6 +205,53 @@ type Reevaluator = yield.Reevaluator
 // NewReevaluator builds the system's ROMDD once for later sweeps.
 func NewReevaluator(sys *System, opts Options) (*Reevaluator, error) {
 	return yield.NewReevaluator(sys, opts)
+}
+
+// ModelSnapshot is a self-contained, serializable copy of a compiled
+// model: the frozen ROMDD plus the metadata needed to restore a
+// Reevaluator and to detect staleness (engine revision, model key).
+type ModelSnapshot = yield.Snapshot
+
+// RestoreReevaluator rebuilds a ready-to-evaluate Reevaluator from a
+// snapshot — no compilation, typically milliseconds.
+func RestoreReevaluator(snap *ModelSnapshot) (*Reevaluator, error) {
+	return yield.RestoreReevaluator(snap)
+}
+
+// EncodeModel serializes a compiled-model snapshot into the versioned,
+// checksummed binary format of the persistent store.
+func EncodeModel(snap *ModelSnapshot) ([]byte, error) { return store.Encode(snap) }
+
+// DecodeModel parses and validates an encoded compiled model. It
+// returns typed errors (e.g. ErrModelChecksum, ErrModelRevision) for
+// every corruption class and never panics on hostile input.
+func DecodeModel(data []byte) (*ModelSnapshot, error) { return store.Decode(data) }
+
+// Typed failure classes of DecodeModel, testable with errors.Is.
+var (
+	ErrModelTruncated = store.ErrTruncated
+	ErrModelChecksum  = store.ErrChecksum
+	ErrModelVersion   = store.ErrVersion
+	ErrModelRevision  = store.ErrEngineRevision
+	ErrModelCorrupt   = store.ErrCorrupt
+)
+
+// ModelStore is a size-capped on-disk LRU of encoded compiled models,
+// keyed by ModelKey. It is the persistent second tier of the yieldd
+// cache and the artifact behind yieldsoc -save-model/-load-model.
+type ModelStore = store.Store
+
+// OpenModelStore opens (creating if needed) a model store rooted at
+// dir. maxBytes 0 means unlimited; metrics may be nil.
+func OpenModelStore(dir string, maxBytes int64, metrics *Metrics) (*ModelStore, error) {
+	return store.Open(dir, maxBytes, metrics)
+}
+
+// LoadOrBuild returns a Reevaluator for (sys, opts), served from the
+// store when a current-revision entry exists and compiled (then
+// written through) otherwise. A nil store always compiles.
+func LoadOrBuild(st *ModelStore, sys *System, opts Options) (re *Reevaluator, fromStore bool, err error) {
+	return store.LoadOrBuild(st, sys, opts)
 }
 
 // SweepPoint is one (per-component lethalities, defect distribution)
