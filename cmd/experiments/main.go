@@ -10,6 +10,7 @@
 //	experiments -table 4            # end-to-end method performance
 //	experiments -ablation direct-mdd
 //	experiments -baseline mc -samples 200000
+//	experiments -baseline is -samples 200000   # importance sampling
 //	experiments -all                # everything the paper reports
 //	experiments -workers 8 -table 4 -full
 //	experiments -bench-json BENCH_1.json
@@ -51,7 +52,7 @@ func main() {
 	var (
 		table      = flag.Int("table", 0, "regenerate table 1-4")
 		ablation   = flag.String("ablation", "", `ablation to run ("direct-mdd")`)
-		baseline   = flag.String("baseline", "", `baseline to run ("mc")`)
+		baseline   = flag.String("baseline", "", `baseline to run ("mc" naive, "is" importance sampling)`)
 		samples    = flag.Int("samples", 200000, "Monte-Carlo samples per case")
 		full       = flag.Bool("full", false, "run all fifteen paper rows (slow)")
 		caseList   = flag.String("cases", "", `explicit row list, e.g. "MS6:1,ESEN4x4:1" (overrides -full)`)
@@ -131,6 +132,9 @@ func main() {
 	}
 	if *baseline == "mc" || *all {
 		run("Baseline: Monte-Carlo simulation", func() error { return printBaseline(os.Stdout, cases, *samples, cfg) })
+	}
+	if *baseline == "is" || *all {
+		run("Baseline: importance-sampling simulation", func() error { return printBaselineIS(os.Stdout, cases, *samples, cfg) })
 	}
 	if *benchJSON != "" {
 		run("Benchmark: batch sweep serial vs parallel", func() error {
@@ -626,6 +630,30 @@ func printBaseline(w io.Writer, cases []experiments.Case, samples int, cfg exper
 	}
 	fmt.Fprint(w, experiments.FormatTable(
 		[]string{"case", "combinatorial", "time", "monte-carlo (95% CI)", "time", "consistent"}, out))
+	return nil
+}
+
+func printBaselineIS(w io.Writer, cases []experiments.Case, samples int, cfg experiments.Config) error {
+	rows, err := experiments.BaselineImportance(cases, samples, cfg)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Case.String(),
+			fmt.Sprintf("%.4f", r.Exact),
+			r.ExactTime.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.4f±%.4f", r.IS, 1.96*r.ISStdErr),
+			fmt.Sprintf("%.2f", r.Tilt),
+			fmt.Sprintf("%.0f", r.ESS),
+			fmt.Sprintf("%.3g", r.RelErr),
+			r.ISTime.Round(time.Millisecond).String(),
+			fmt.Sprintf("%v", r.WithinThree),
+		})
+	}
+	fmt.Fprint(w, experiments.FormatTable(
+		[]string{"case", "combinatorial", "time", "importance-sampling (95% CI)", "tilt", "ess", "rel-err", "time", "consistent"}, out))
 	return nil
 }
 

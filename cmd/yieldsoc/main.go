@@ -4,7 +4,9 @@
 // The system is either one of the paper's benchmarks (-bench MS4,
 // -bench ESEN8x2) or a description file in the ftdsl format (-f
 // system.ft). The defect model is a negative binomial with mean
-// -lambda and clustering -alpha (use -poisson for the Poisson model).
+// -lambda and clustering -alpha (use -poisson for the Poisson model,
+// or -alphas a1,a2,... for the multilevel clustered model with one
+// gamma-distributed scale factor per hierarchy level).
 //
 // Examples:
 //
@@ -13,6 +15,13 @@
 //	yieldsoc -bench ESEN4x2 -lambda 2 -alpha 2 -mv wvr -bits lm
 //	yieldsoc -bench MS2 -lambda 2 -alpha 2 -reliability 0,10,100 -frate 1e-3
 //	yieldsoc -bench MS4 -lambda 2 -alpha 2 -sweep 0.5,1,2,4 -workers 8
+//	yieldsoc -bench MS3 -lambda 0.02 -alpha 2 -mc-is 100000
+//
+// -mc runs a naive Monte-Carlo cross-check; -mc-is runs the
+// importance-sampling estimator instead, which stays sharp in the
+// rare-event regime (near-certain yield) where the naive sampler
+// degenerates to an all-pass sample. -mc-tilt fixes the exponential
+// tilt; by default an untilted pilot phase picks it adaptively.
 //
 // -sweep evaluates the yield for each listed λ on one shared ROMDD
 // (built once), fanning the points out over -workers goroutines.
@@ -129,11 +138,14 @@ func run() error {
 		lambda     = flag.Float64("lambda", 2, "expected number of manufacturing defects")
 		alpha      = flag.Float64("alpha", 2, "negative binomial clustering parameter")
 		poisson    = flag.Bool("poisson", false, "use a Poisson defect model instead")
+		alphas     = flag.String("alphas", "", "comma-separated per-level clustering parameters for the multilevel model (innermost first; overrides -alpha/-poisson)")
 		eps        = flag.Float64("eps", 5e-3, "absolute yield error requirement")
 		mvName     = flag.String("mv", "w", "MV-variable ordering: wv wvr vw vrw t w h")
 		bitName    = flag.String("bits", "ml", "bit-group ordering: ml lm t w h")
 		nodeLimit  = flag.Int("nodelimit", 0, "decision-diagram node budget (0 = unlimited)")
 		mcSamples  = flag.Int("mc", 0, "also run a Monte-Carlo cross-check with this many samples")
+		mcIS       = flag.Int("mc-is", 0, "also run an importance-sampling Monte-Carlo cross-check with this many samples (pilot included)")
+		mcTilt     = flag.Float64("mc-tilt", -1, "fixed exponential tilt for -mc-is (negative = adaptive pilot)")
 		sens       = flag.Bool("sensitivity", false, "print per-component yield sensitivities ∂Y/∂P_i")
 		relTimes   = flag.String("reliability", "", "comma-separated mission times for a reliability curve")
 		fRate      = flag.Float64("frate", 1e-3, "field failure rate per component (with -reliability)")
@@ -167,12 +179,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	var dist defects.Distribution
-	if *poisson {
-		dist, err = defects.NewPoisson(*lambda)
-	} else {
-		dist, err = defects.NewNegativeBinomial(*lambda, *alpha)
+	// makeDist builds the defect model for a given λ so the headline
+	// run and each -sweep point share one family-selection rule.
+	makeDist := func(l float64) (defects.Distribution, error) {
+		if *alphas != "" {
+			as, err := cliutil.ParseFloats(*alphas)
+			if err != nil {
+				return nil, fmt.Errorf("-alphas: %w", err)
+			}
+			return defects.NewMultilevel(l, as...)
+		}
+		if *poisson {
+			return defects.NewPoisson(l)
+		}
+		return defects.NewNegativeBinomial(l, *alpha)
 	}
+	dist, err := makeDist(*lambda)
 	if err != nil {
 		return err
 	}
@@ -294,12 +316,7 @@ func run() error {
 		}
 		dists := make([]defects.Distribution, len(lambdas))
 		for i, l := range lambdas {
-			if *poisson {
-				dists[i], err = defects.NewPoisson(l)
-			} else {
-				dists[i], err = defects.NewNegativeBinomial(l, *alpha)
-			}
-			if err != nil {
+			if dists[i], err = makeDist(l); err != nil {
 				return err
 			}
 		}
@@ -337,6 +354,46 @@ func run() error {
 			return err
 		}
 		fmt.Printf("monte-carlo %.6f ± %.6f (95%% CI, %d samples)\n", mc.Yield, mc.CI(1.96), mc.Samples)
+		if mc.Degenerate {
+			lo, hi := mc.Wilson(1.96)
+			fmt.Printf("monte-carlo sample is degenerate (every die %s); Wilson 95%% interval [%.6f, %.6f] — consider -mc-is\n",
+				map[bool]string{true: "passed", false: "failed"}[mc.Yield == 1], lo, hi)
+		}
+	}
+	if *mcIS > 0 {
+		isOpts := montecarlo.ISOptions{
+			Defects: dist, Samples: *mcIS, Seed: 1, Workers: *workers,
+			Recorder: rec,
+		}
+		if *mcTilt >= 0 {
+			isOpts.Tilt, isOpts.TiltSet = *mcTilt, true
+		}
+		if *progress {
+			// Mirror EstimateIS's budget split: an adaptive run spends
+			// min(Samples/4, 8192) on the untilted pilot, a fixed-tilt run
+			// skips the pilot entirely; one progress tick per 4096-die chunk.
+			pilot := 0
+			if !isOpts.TiltSet {
+				pilot = *mcIS / 4
+				if pilot > 8192 {
+					pilot = 8192
+				}
+			}
+			chunks := (pilot+4095)/4096 + (*mcIS-pilot+4095)/4096
+			isOpts.Progress = obs.NewProgress(os.Stderr, "monte-carlo-is", chunks, 0)
+		}
+		is, err := montecarlo.EstimateIS(sys, isOpts)
+		isOpts.Progress.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mc-is       %.6f ± %.6f (95%% CI, %d samples, %d pilot)\n",
+			is.Yield, is.CI(1.96), is.Samples, is.PilotSamples)
+		fmt.Printf("mc-is       tilt %.3f, ESS %.0f, rel-err %.3g on failure probability %.4g\n",
+			is.Tilt, is.ESS, is.RelErr, is.FailProb)
+		if is.Degenerate {
+			fmt.Println("mc-is       sample is degenerate — no failures even under the tilted proposal")
+		}
 	}
 	if *relTimes != "" {
 		times, err := cliutil.ParseFloats(*relTimes)

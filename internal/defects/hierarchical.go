@@ -1,0 +1,308 @@
+package defects
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file implements the hierarchical / multilevel clustering
+// compound distributions of Bogdanov, Bogdanova & Dshkhunyan
+// ("Statistical Yield Modeling for IC Manufacture: Hierarchical Fault
+// Distributions") and Bogdanov, Bogdanova & Rudnev ("Multilevel
+// Clustering Fault Model for IC Manufacture"): the defect count is
+// Poisson, but its mean is modulated by a product of independent
+// unit-mean gamma factors, one per clustering scale (process lot,
+// wafer, chip region, …):
+//
+//	k | x_1..x_L ~ Poisson(λ · x_1 ⋯ x_L),  x_j ~ Gamma(α_j, 1/α_j)
+//
+// One level is exactly the negative binomial (the classical
+// Poisson-gamma mixture); every additional level thickens the tail
+// beyond what any single negative binomial can express. A level
+// degenerates away as its α_j → ∞ (its gamma factor concentrates at
+// 1), recovering the model one level shorter.
+//
+// The PMF has no closed form for L ≥ 2; it is evaluated by collapsing
+// the outer L−1 gamma factors into a fixed quadrature mixture and
+// using the closed negative-binomial form for the innermost level:
+//
+//	P(k) = Σ_i w_i · NB(k; λ·s_i, α_1)
+//
+// with (s_i, w_i) the tensor product of per-level gamma quadratures.
+// The weights are normalized to Σ w_i = 1, so the PMF is an exact
+// finite mixture of negative binomials — it sums to 1 and is
+// everywhere nonnegative by construction, whatever the quadrature
+// error. Because Poisson thinning commutes with mixing, the thinning
+// closure is the same as the negative binomial's: scale λ, keep every
+// clustering parameter — so these models drop into the generic
+// Thin/TruncationPoint/PMFTable pipeline with closed-form thinning.
+
+// maxClusterLevels bounds the nesting depth; each extra level
+// multiplies the quadrature mixture size.
+const maxClusterLevels = 4
+
+// gammaQuadNodes is the per-level quadrature resolution and
+// maxMixComponents the size the collapsed cross-product mixture is
+// recompressed to after each level.
+const (
+	gammaQuadNodes   = 256
+	maxMixComponents = 4096
+)
+
+// mixNode is one component of the collapsed outer-level mixture: the
+// inner negative binomial's mean is scaled by scale with probability
+// weight.
+type mixNode struct {
+	scale, weight float64
+}
+
+// gammaQuadRange brackets where the log-substituted Gamma(α, 1/α)
+// integrand carries mass: in y = ln x the (unnormalized) log-density
+// is α(y − e^y), maximal at y = 0, and the returned [yLo, yHi] are the
+// two roots of y − e^y + 1 = −T with T = 38/α — the points where the
+// integrand has fallen e⁻³⁸ below its peak. Solving the exact
+// exponent (rather than a small-x or Gaussian approximation) keeps
+// the bracket tight for every α, from heavy clustering (α ≪ 1, a
+// hundred-decade x range) to near-degenerate levels (α ≫ 1, a peak of
+// width 1/√α around x = 1).
+func gammaQuadRange(alpha float64) (yLo, yHi float64) {
+	T := 38 / alpha
+	g := func(y float64) float64 { return y - math.Exp(y) + 1 + T }
+	// g is increasing on y < 0 and decreasing on y > 0 with g(0) = T > 0.
+	bisect := func(lo, hi float64, rising bool) float64 {
+		for i := 0; i < 200 && hi-lo > 1e-12*(1+math.Abs(lo)); i++ {
+			mid := (lo + hi) / 2
+			if (g(mid) < 0) == rising {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return (lo + hi) / 2
+	}
+	yLo = bisect(-T-2, 0, true)
+	yHi = bisect(0, math.Log(2*T+4), false)
+	return yLo, yHi
+}
+
+// gammaQuad discretizes the unit-mean Gamma(α, 1/α) mixing factor into
+// (node, weight) pairs by trapezoid quadrature in log space: the
+// substitution x = e^y removes the x^(α-1) endpoint singularity for
+// α < 1 and gives doubly-exponential tails, so the fixed grid
+// converges fast for every α. Weights are normalized to sum to 1.
+func gammaQuad(alpha float64) []mixNode {
+	yLo, yHi := gammaQuadRange(alpha)
+	n := gammaQuadNodes
+	h := (yHi - yLo) / float64(n-1)
+	nodes := make([]mixNode, 0, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		y := yLo + float64(i)*h
+		x := math.Exp(y)
+		// The substituted density is g(x)·x = α^α x^α e^{-αx} / Γ(α);
+		// relative to its peak at x = 1 that is e^{α(y − x + 1)} — the
+		// normalizing constant and the constant grid step h cancel in
+		// the normalization, and the peak-relative form cannot
+		// overflow for any α.
+		w := math.Exp(alpha * (y - x + 1))
+		if w == 0 {
+			continue
+		}
+		nodes = append(nodes, mixNode{scale: x, weight: w})
+		sum += w
+	}
+	for i := range nodes {
+		nodes[i].weight /= sum
+	}
+	return nodes
+}
+
+// compressMix re-bins a scale-sorted mixture down to at most max
+// components by merging runs of adjacent nodes, preserving each bin's
+// total weight and weighted mean scale — so the mixture's mass and
+// mean are exact under compression and only the within-bin spread
+// (tiny, since neighbours have near-equal scales) is lost.
+func compressMix(mix []mixNode, max int) []mixNode {
+	if len(mix) <= max {
+		return mix
+	}
+	per := (len(mix) + max - 1) / max
+	out := make([]mixNode, 0, max)
+	for i := 0; i < len(mix); i += per {
+		end := i + per
+		if end > len(mix) {
+			end = len(mix)
+		}
+		var w, ws float64
+		for _, m := range mix[i:end] {
+			w += m.weight
+			ws += m.weight * m.scale
+		}
+		if w > 0 {
+			out = append(out, mixNode{scale: ws / w, weight: w})
+		}
+	}
+	return out
+}
+
+// buildMix collapses the outer clustering levels (alphas[1:]) into one
+// flat mixture of mean scales. A single-level model mixes nothing:
+// the result is the unit mixture and the PMF is exactly the negative
+// binomial.
+func buildMix(alphas []float64) []mixNode {
+	mix := []mixNode{{scale: 1, weight: 1}}
+	if len(alphas) <= 1 {
+		return mix
+	}
+	for _, a := range alphas[1:] {
+		level := gammaQuad(a)
+		next := make([]mixNode, 0, len(mix)*len(level))
+		for _, m := range mix {
+			for _, l := range level {
+				w := m.weight * l.weight
+				if w < 1e-18 {
+					continue // negligible joint mass; renormalized below
+				}
+				next = append(next, mixNode{scale: m.scale * l.scale, weight: w})
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].scale < next[j].scale })
+		mix = compressMix(next, maxMixComponents)
+	}
+	sum := 0.0
+	for _, m := range mix {
+		sum += m.weight
+	}
+	for i := range mix {
+		mix[i].weight /= sum
+	}
+	return mix
+}
+
+// Multilevel is the L-level clustering compound distribution described
+// above: Lambda is the mean defect count, Alphas[0] the innermost
+// (chip-level) clustering parameter, and each further entry the
+// clustering of one coarser scale. Multilevel(λ, [α]) is exactly
+// NegativeBinomial(λ, α).
+type Multilevel struct {
+	Lambda float64   // mean defect count, > 0
+	Alphas []float64 // per-level clustering parameters, innermost first
+
+	// mix caches the collapsed outer-level quadrature; it depends only
+	// on Alphas, so thinned copies share it. Built by NewMultilevel;
+	// a zero-value literal rebuilds it on every PMF call.
+	mix []mixNode
+}
+
+// NewMultilevel validates the parameters and precomputes the
+// outer-level quadrature.
+func NewMultilevel(lambda float64, alphas ...float64) (Multilevel, error) {
+	if !(lambda > 0) || math.IsInf(lambda, 0) {
+		return Multilevel{}, fmt.Errorf("%w: multilevel lambda = %v, need > 0", ErrBadParam, lambda)
+	}
+	if len(alphas) == 0 {
+		return Multilevel{}, fmt.Errorf("%w: multilevel needs at least one clustering parameter", ErrBadParam)
+	}
+	if len(alphas) > maxClusterLevels {
+		return Multilevel{}, fmt.Errorf("%w: multilevel supports at most %d levels, got %d", ErrBadParam, maxClusterLevels, len(alphas))
+	}
+	for i, a := range alphas {
+		if !(a > 0) || math.IsInf(a, 0) {
+			return Multilevel{}, fmt.Errorf("%w: multilevel alpha[%d] = %v, need > 0", ErrBadParam, i, a)
+		}
+	}
+	as := append([]float64(nil), alphas...)
+	return Multilevel{Lambda: lambda, Alphas: as, mix: buildMix(as)}, nil
+}
+
+// PMF evaluates the mixture Σ_i w_i · NB(k; λ·s_i, α_1). The
+// k-dependent gamma-function terms are hoisted out of the mixture
+// loop, so one call costs one Lgamma triple plus two logs and an exp
+// per mixture component.
+func (d Multilevel) PMF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if len(d.Alphas) == 0 {
+		return Poisson{Lambda: d.Lambda}.PMF(k)
+	}
+	mix := d.mix
+	if mix == nil {
+		mix = buildMix(d.Alphas)
+	}
+	a := d.Alphas[0]
+	lg1, _ := math.Lgamma(a + float64(k))
+	lg2, _ := math.Lgamma(float64(k) + 1)
+	lg3, _ := math.Lgamma(a)
+	ck := lg1 - lg2 - lg3
+	fk := float64(k)
+	total := 0.0
+	for _, m := range mix {
+		r := d.Lambda * m.scale / a
+		total += m.weight * math.Exp(ck+fk*math.Log(r)-(a+fk)*math.Log1p(r))
+	}
+	return total
+}
+
+// Mean returns Lambda: every gamma factor has unit mean.
+func (d Multilevel) Mean() float64 { return d.Lambda }
+
+// Thin returns the same clustering hierarchy with mean p·Lambda:
+// Poisson thinning commutes with the gamma mixing, exactly as in the
+// negative binomial's closed form.
+func (d Multilevel) Thin(p float64) Distribution {
+	return Multilevel{Lambda: p * d.Lambda, Alphas: d.Alphas, mix: d.mix}
+}
+
+func (d Multilevel) String() string {
+	parts := make([]string, len(d.Alphas))
+	for i, a := range d.Alphas {
+		parts[i] = fmt.Sprintf("%g", a)
+	}
+	return fmt.Sprintf("Multilevel(λ=%g, α=[%s])", d.Lambda, strings.Join(parts, " "))
+}
+
+// Hierarchical is the two-level special case of Bogdanov, Bogdanova &
+// Dshkhunyan: chip-level clustering Alpha modulated by one coarser
+// (wafer-level) gamma factor with clustering Beta. Beta → ∞ recovers
+// NegativeBinomial(Lambda, Alpha); Alpha → ∞ recovers
+// NegativeBinomial(Lambda, Beta).
+type Hierarchical struct {
+	Lambda float64 // mean defect count, > 0
+	Alpha  float64 // chip-level clustering, > 0
+	Beta   float64 // wafer-level clustering, > 0
+
+	mix []mixNode // cached outer quadrature, as in Multilevel
+}
+
+// NewHierarchical validates the parameters and precomputes the
+// wafer-level quadrature.
+func NewHierarchical(lambda, alpha, beta float64) (Hierarchical, error) {
+	ml, err := NewMultilevel(lambda, alpha, beta)
+	if err != nil {
+		return Hierarchical{}, err
+	}
+	return Hierarchical{Lambda: lambda, Alpha: alpha, Beta: beta, mix: ml.mix}, nil
+}
+
+func (d Hierarchical) multilevel() Multilevel {
+	return Multilevel{Lambda: d.Lambda, Alphas: []float64{d.Alpha, d.Beta}, mix: d.mix}
+}
+
+// PMF evaluates the two-level mixture.
+func (d Hierarchical) PMF(k int) float64 { return d.multilevel().PMF(k) }
+
+// Mean returns Lambda.
+func (d Hierarchical) Mean() float64 { return d.Lambda }
+
+// Thin returns Hierarchical with mean p·Lambda and the same clustering
+// parameters.
+func (d Hierarchical) Thin(p float64) Distribution {
+	return Hierarchical{Lambda: p * d.Lambda, Alpha: d.Alpha, Beta: d.Beta, mix: d.mix}
+}
+
+func (d Hierarchical) String() string {
+	return fmt.Sprintf("Hierarchical(λ=%g, α=%g, β=%g)", d.Lambda, d.Alpha, d.Beta)
+}

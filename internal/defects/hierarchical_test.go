@@ -1,0 +1,310 @@
+package defects
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultilevelValidation(t *testing.T) {
+	cases := []struct {
+		lambda float64
+		alphas []float64
+	}{
+		{0, []float64{1}},
+		{-1, []float64{1}},
+		{math.Inf(1), []float64{1}},
+		{1, nil},
+		{1, []float64{0}},
+		{1, []float64{2, -1}},
+		{1, []float64{2, math.Inf(1)}},
+		{1, []float64{1, 1, 1, 1, 1}},
+	}
+	for _, c := range cases {
+		if _, err := NewMultilevel(c.lambda, c.alphas...); !errors.Is(err, ErrBadParam) {
+			t.Errorf("NewMultilevel(%v, %v): err = %v, want ErrBadParam", c.lambda, c.alphas, err)
+		}
+	}
+	if _, err := NewHierarchical(1, 0, 1); !errors.Is(err, ErrBadParam) {
+		t.Error("NewHierarchical(1,0,1) accepted")
+	}
+}
+
+// TestMultilevelSingleLevelIsNB pins the L = 1 boundary: one level of
+// clustering mixes nothing, so the PMF is the negative binomial's
+// closed form exactly (same float operations, not just close).
+func TestMultilevelSingleLevelIsNB(t *testing.T) {
+	for _, alpha := range []float64{0.25, 1, 3.4} {
+		ml, err := NewMultilevel(2, alpha)
+		if err != nil {
+			t.Fatalf("NewMultilevel: %v", err)
+		}
+		nb, _ := NewNegativeBinomial(2, alpha)
+		for k := 0; k < 50; k++ {
+			if got, want := ml.PMF(k), nb.PMF(k); math.Abs(got-want) > 1e-15 {
+				t.Errorf("α=%v k=%d: multilevel %v vs NB %v", alpha, k, got, want)
+			}
+		}
+	}
+}
+
+// TestHierarchicalDegeneratesToNB checks both boundary directions of
+// the two-level model: a huge wafer-level β concentrates its gamma
+// factor at 1 and leaves NB(λ, α); a huge chip-level α turns the inner
+// NB into a Poisson, whose wafer-gamma mixture is NB(λ, β).
+func TestHierarchicalDegeneratesToNB(t *testing.T) {
+	const big = 1e7
+	lambda := 1.5
+	h1, err := NewHierarchical(lambda, 2, big)
+	if err != nil {
+		t.Fatalf("NewHierarchical: %v", err)
+	}
+	nbAlpha, _ := NewNegativeBinomial(lambda, 2)
+	h2, err := NewHierarchical(lambda, big, 3)
+	if err != nil {
+		t.Fatalf("NewHierarchical: %v", err)
+	}
+	nbBeta, _ := NewNegativeBinomial(lambda, 3)
+	for k := 0; k < 30; k++ {
+		if got, want := h1.PMF(k), nbAlpha.PMF(k); math.Abs(got-want) > 1e-6 {
+			t.Errorf("β→∞ k=%d: hierarchical %v vs NB(λ,α) %v", k, got, want)
+		}
+		if got, want := h2.PMF(k), nbBeta.PMF(k); math.Abs(got-want) > 1e-6 {
+			t.Errorf("α→∞ k=%d: hierarchical %v vs NB(λ,β) %v", k, got, want)
+		}
+	}
+}
+
+// TestMultilevelDegeneratesToCompoundPoisson closes the loop with the
+// other clustering family in the package: NB(λ, α) — the single-level
+// boundary of Multilevel — must equal the compound Poisson with
+// logarithmic cluster sizes, CompoundPoisson(α·ln(1+λ/α), Log(θ)),
+// θ = (λ/α)/(1+λ/α).
+func TestMultilevelDegeneratesToCompoundPoisson(t *testing.T) {
+	lambda, alpha := 1.8, 1.25
+	ml, err := NewMultilevel(lambda, alpha)
+	if err != nil {
+		t.Fatalf("NewMultilevel: %v", err)
+	}
+	r := lambda / alpha
+	log, err := NewLogarithmic(r / (1 + r))
+	if err != nil {
+		t.Fatalf("NewLogarithmic: %v", err)
+	}
+	cp, err := NewCompoundPoisson(alpha*math.Log1p(r), log)
+	if err != nil {
+		t.Fatalf("NewCompoundPoisson: %v", err)
+	}
+	for k := 0; k < 25; k++ {
+		if got, want := ml.PMF(k), cp.PMF(k); math.Abs(got-want) > 1e-10 {
+			t.Errorf("k=%d: multilevel %v vs compound Poisson %v", k, got, want)
+		}
+	}
+}
+
+// TestMultilevelPMFIsDistribution: the PMF is nonnegative, sums to 1
+// and reproduces the declared mean for representative parameter sets,
+// including deep nesting and strong clustering.
+func TestMultilevelPMFIsDistribution(t *testing.T) {
+	cases := []struct {
+		lambda float64
+		alphas []float64
+	}{
+		{1, []float64{2, 3}},
+		{2, []float64{0.5, 1.5}},
+		{0.5, []float64{3.4, 2, 1}},
+		{1.2, []float64{1, 1, 1, 1}},
+	}
+	for _, c := range cases {
+		d, err := NewMultilevel(c.lambda, c.alphas...)
+		if err != nil {
+			t.Fatalf("NewMultilevel(%v, %v): %v", c.lambda, c.alphas, err)
+		}
+		sum, mean := 0.0, 0.0
+		for k := 0; k <= 4000; k++ {
+			p := d.PMF(k)
+			if p < 0 {
+				t.Fatalf("%v: PMF(%d) = %v < 0", d, k, p)
+			}
+			sum += p
+			mean += float64(k) * p
+			if 1-sum < 1e-12 {
+				break
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%v: PMF sums to %v", d, sum)
+		}
+		if math.Abs(mean-c.lambda) > 1e-5*c.lambda {
+			t.Errorf("%v: empirical mean %v, want %v", d, mean, c.lambda)
+		}
+		if d.PMF(-1) != 0 {
+			t.Errorf("%v: PMF(-1) != 0", d)
+		}
+	}
+}
+
+// TestHierarchicalThinCommutesWithMeanScaling: Thin(p) is closed-form
+// (Poisson thinning commutes with the gamma mixing), scales the mean
+// by exactly p, preserves total mass, and agrees with the generic
+// numeric thinning of equation (1).
+func TestHierarchicalThinCommutesWithMeanScaling(t *testing.T) {
+	h, err := NewHierarchical(2, 2, 3)
+	if err != nil {
+		t.Fatalf("NewHierarchical: %v", err)
+	}
+	for _, p := range []float64{0.2, 0.5, 0.9} {
+		th, err := Thin(h, p)
+		if err != nil {
+			t.Fatalf("Thin: %v", err)
+		}
+		if _, ok := th.(Hierarchical); !ok {
+			t.Fatalf("Thin(Hierarchical) = %T, want Hierarchical", th)
+		}
+		if got := th.Mean(); math.Abs(got-p*2) > 1e-12 {
+			t.Errorf("p=%v: thinned mean %v, want %v", p, got, p*2)
+		}
+		if s := pmfSum(th, 3000); math.Abs(s-1) > 1e-9 {
+			t.Errorf("p=%v: thinned mass %v", p, s)
+		}
+		numeric, err := Thin(plainDist{h}, p)
+		if err != nil {
+			t.Fatalf("numeric Thin: %v", err)
+		}
+		for k := 0; k < 20; k++ {
+			c, n := th.PMF(k), numeric.PMF(k)
+			if math.Abs(c-n) > 1e-8 {
+				t.Errorf("p=%v k=%d: closed %v vs numeric %v", p, k, c, n)
+			}
+		}
+	}
+	// Thinnings compose: Thin(Thin(d, a), b) = Thin(d, a·b).
+	t1, _ := Thin(h, 0.5)
+	t2, _ := Thin(t1, 0.4)
+	if got := t2.(Hierarchical).Lambda; math.Abs(got-0.4) > 1e-15 {
+		t.Errorf("composed thinning λ = %v, want 0.4", got)
+	}
+}
+
+// TestMultilevelHeavierTailThanNB: the point of the hierarchy — at the
+// same mean and innermost α, each extra clustering level pushes mass
+// from the bulk into P(0) and the deep tail (the variance grows by the
+// outer factors' variance), so zero-defect yield rises while large
+// counts get likelier.
+func TestMultilevelHeavierTailThanNB(t *testing.T) {
+	nb, _ := NewNegativeBinomial(2, 2)
+	ml, err := NewMultilevel(2, 2, 2)
+	if err != nil {
+		t.Fatalf("NewMultilevel: %v", err)
+	}
+	if ml.PMF(0) <= nb.PMF(0) {
+		t.Errorf("P(0): multilevel %v ≤ NB %v", ml.PMF(0), nb.PMF(0))
+	}
+	tailNB, tailML := 1-pmfSum(nb, 12), 1-pmfSum(ml, 12)
+	if tailML <= tailNB {
+		t.Errorf("tail beyond 12: multilevel %v ≤ NB %v", tailML, tailNB)
+	}
+}
+
+// TestMultilevelTruncationAndPMFTable drives the new families through
+// the generic numeric pipeline the combinatorial method consumes:
+// TruncationPoint honours ε and is minimal, and the PMFTable/tail
+// invariants hold monotonically in the truncation point.
+func TestMultilevelTruncationAndPMFTable(t *testing.T) {
+	h, err := NewHierarchical(2, 2, 1.5)
+	if err != nil {
+		t.Fatalf("NewHierarchical: %v", err)
+	}
+	lethal, err := Thin(h, 0.5)
+	if err != nil {
+		t.Fatalf("Thin: %v", err)
+	}
+	m, tail, err := TruncationPoint(lethal, 1e-3)
+	if err != nil {
+		t.Fatalf("TruncationPoint: %v", err)
+	}
+	if tail > 1e-3 || tail < 0 {
+		t.Errorf("tail = %v, want in [0, 1e-3]", tail)
+	}
+	if m > 0 && pmfSum(lethal, m-1) >= 1-1e-3 {
+		t.Errorf("M = %d not minimal", m)
+	}
+	// Monotone-tail invariant: growing the table can only shrink the
+	// tail, each table sums to 1−tail, and the tail is nonnegative.
+	prevTail := math.Inf(1)
+	for _, mm := range []int{0, 1, m, m + 3, m + 10} {
+		pmf, tl, err := PMFTable(lethal, mm)
+		if err != nil {
+			t.Fatalf("PMFTable(%d): %v", mm, err)
+		}
+		if tl < 0 || tl > prevTail {
+			t.Errorf("PMFTable(%d): tail %v not monotone (prev %v)", mm, tl, prevTail)
+		}
+		prevTail = tl
+		s := 0.0
+		for _, q := range pmf {
+			if q < 0 {
+				t.Fatalf("PMFTable(%d): negative entry", mm)
+			}
+			s += q
+		}
+		if math.Abs(s+tl-1) > 1e-9 {
+			t.Errorf("PMFTable(%d): Σpmf+tail = %v", mm, s+tl)
+		}
+	}
+}
+
+// Property: random two-level models behave as distributions and thin
+// correctly — mirrors TestQuickThinningInvariants for the new family.
+func TestQuickHierarchicalInvariants(t *testing.T) {
+	f := func(l8, a8, b8, p8 uint8) bool {
+		lambda := 0.2 + float64(l8%30)/10 // 0.2 .. 3.1
+		alpha := 0.5 + float64(a8%12)/4   // 0.5 .. 3.25
+		beta := 0.5 + float64(b8%12)/4    // 0.5 .. 3.25
+		p := 0.1 + 0.8*float64(p8)/255    // 0.1 .. 0.9
+		h, err := NewHierarchical(lambda, alpha, beta)
+		if err != nil {
+			return false
+		}
+		th, err := Thin(h, p)
+		if err != nil {
+			return false
+		}
+		if math.Abs(th.Mean()-p*lambda) > 1e-12 {
+			return false
+		}
+		return math.Abs(pmfSum(th, 4000)-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchicalStringers(t *testing.T) {
+	h, _ := NewHierarchical(1, 2, 3)
+	ml, _ := NewMultilevel(1, 2, 3, 4)
+	for _, s := range []string{h.String(), ml.String()} {
+		if s == "" {
+			t.Error("empty String()")
+		}
+	}
+}
+
+// Zero-value literals (no constructor, no cached quadrature) must
+// still evaluate correctly — the mixture is rebuilt on the fly.
+func TestMultilevelLiteralFallback(t *testing.T) {
+	lit := Multilevel{Lambda: 1.5, Alphas: []float64{2, 3}}
+	built, _ := NewMultilevel(1.5, 2, 3)
+	for k := 0; k < 15; k++ {
+		if got, want := lit.PMF(k), built.PMF(k); math.Abs(got-want) > 1e-15 {
+			t.Errorf("k=%d: literal %v vs constructed %v", k, got, want)
+		}
+	}
+	hl := Hierarchical{Lambda: 1.5, Alpha: 2, Beta: 3}
+	for k := 0; k < 15; k++ {
+		if got, want := hl.PMF(k), built.PMF(k); math.Abs(got-want) > 1e-15 {
+			t.Errorf("k=%d: hierarchical literal %v vs multilevel %v", k, got, want)
+		}
+	}
+}

@@ -520,6 +520,74 @@ func BaselineMonteCarlo(cases []Case, samples int, cfg Config) ([]BaselineRow, e
 	})
 }
 
+// ISBaselineRow compares the combinatorial method with the
+// importance-sampling simulator on the same case, carrying the
+// estimator's diagnostics (chosen tilt, effective sample size,
+// relative error on the failure probability) alongside the agreement
+// verdict.
+type ISBaselineRow struct {
+	Case        Case
+	Exact       float64
+	ExactTime   time.Duration
+	IS          float64
+	ISStdErr    float64
+	Tilt        float64
+	ESS         float64
+	RelErr      float64
+	Samples     int
+	ISTime      time.Duration
+	WithinThree bool // |IS − exact| ≤ 3σ + ε
+}
+
+// BaselineImportance runs the importance-sampling baseline with the
+// given sample budget per case (pilot included), with the same
+// worker-allocation rule as BaselineMonteCarlo: concurrent cases keep
+// the simulator single-worker, a lone case fans its samples out.
+func BaselineImportance(cases []Case, samples int, cfg Config) ([]ISBaselineRow, error) {
+	cfg = cfg.withDefaults()
+	caseWorkers := cfg.workers(len(cases))
+	isWorkers := 1
+	if caseWorkers == 1 {
+		isWorkers = cfg.Workers // ≤ 0 lets the simulator pick GOMAXPROCS
+	}
+	return forEachCase(cases, cfg, func(cs Case) (ISBaselineRow, error) {
+		sys, err := buildSystem(cs.Benchmark)
+		if err != nil {
+			return ISBaselineRow{}, err
+		}
+		dist, err := distribution(cs, cfg)
+		if err != nil {
+			return ISBaselineRow{}, err
+		}
+		start := time.Now()
+		exact, err := yield.Evaluate(sys, yield.Options{
+			Defects: dist, Epsilon: cfg.Epsilon, NodeLimit: cfg.limit(defaultPerfNodeLimit), BuildWorkers: cfg.BuildWorkers, Recorder: cfg.Recorder, Tracer: cfg.Tracer,
+		})
+		if err != nil {
+			return ISBaselineRow{}, fmt.Errorf("%v: %w", cs, err)
+		}
+		exactTime := time.Since(start)
+		start = time.Now()
+		is, err := montecarlo.EstimateIS(sys, montecarlo.ISOptions{
+			Defects: dist, Samples: samples, Seed: 20030622, // DSN'03 conference date
+			Workers: isWorkers,
+		})
+		if err != nil {
+			return ISBaselineRow{}, fmt.Errorf("%v IS: %w", cs, err)
+		}
+		diff := abs(is.Yield - exact.Yield)
+		return ISBaselineRow{
+			Case: cs, Exact: exact.Yield, ExactTime: exactTime,
+			IS: is.Yield, ISStdErr: is.StdErr,
+			Tilt: is.Tilt, ESS: is.ESS, RelErr: is.RelErr,
+			Samples: samples, ISTime: time.Since(start),
+			// Same slack rule as the naive baseline: truncation
+			// pessimism on top of the sampling noise.
+			WithinThree: diff <= 3*is.StdErr+cfg.Epsilon,
+		}, nil
+	})
+}
+
 func abs(x float64) float64 {
 	if x < 0 {
 		return -x

@@ -186,6 +186,23 @@ func TestBaselineMonteCarloConsistent(t *testing.T) {
 	}
 }
 
+func TestBaselineImportanceConsistent(t *testing.T) {
+	rows, err := BaselineImportance([]Case{{"MS2", 1}}, 50000, Config{})
+	if err != nil {
+		t.Fatalf("BaselineImportance: %v", err)
+	}
+	r := rows[0]
+	if !r.WithinThree {
+		t.Errorf("IS %v vs exact %v beyond 3σ+ε", r.IS, r.Exact)
+	}
+	if r.ESS <= 0 || r.ESS > float64(r.Samples) {
+		t.Errorf("ESS %v out of (0, %d]", r.ESS, r.Samples)
+	}
+	if r.Tilt < 0 {
+		t.Errorf("negative tilt %v", r.Tilt)
+	}
+}
+
 func TestUnknownBenchmark(t *testing.T) {
 	if _, err := Table2([]Case{{"NOPE", 1}}, Config{}); err == nil {
 		t.Error("unknown benchmark accepted")
@@ -360,6 +377,22 @@ func TestTablesParallelMatchSerial(t *testing.T) {
 		s, p := mcS[i], mcP[i]
 		if s.Case != p.Case || s.Exact != p.Exact || s.MC != p.MC || s.MCStdErr != p.MCStdErr {
 			t.Errorf("Baseline row %d differs beyond timing: serial %+v, parallel %+v", i, s, p)
+		}
+	}
+
+	isS, err := BaselineImportance(cases, 5000, serialCfg)
+	if err != nil {
+		t.Fatalf("BaselineImportance serial: %v", err)
+	}
+	isP, err := BaselineImportance(cases, 5000, parallelCfg)
+	if err != nil {
+		t.Fatalf("BaselineImportance parallel: %v", err)
+	}
+	for i := range isS {
+		s, p := isS[i], isP[i]
+		if s.Case != p.Case || s.Exact != p.Exact || s.IS != p.IS || s.ISStdErr != p.ISStdErr ||
+			s.Tilt != p.Tilt || s.ESS != p.ESS {
+			t.Errorf("IS baseline row %d differs beyond timing: serial %+v, parallel %+v", i, s, p)
 		}
 	}
 }

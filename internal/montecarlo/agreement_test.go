@@ -58,3 +58,87 @@ func TestCombinatorialWithinMCInterval(t *testing.T) {
 		}
 	}
 }
+
+// TestCombinatorialWithinISInterval is the rare-event half of the
+// agreement suite: near-certain-yield cases (small per-component P_i
+// budgets, small λ) where naive Monte Carlo at the same budget returns
+// a degenerate all-pass sample and so certifies nothing. The
+// importance-sampling estimate must stay sharp — single-digit-percent
+// relative error on the failure probability — and its 3σ interval must
+// bracket the combinatorial interval [Yield, Yield+bound].
+func TestCombinatorialWithinISInterval(t *testing.T) {
+	samples := 100000
+	if testing.Short() {
+		samples = 30000
+	}
+	nb, err := defects.NewNegativeBinomial(0.02, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := defects.NewHierarchical(0.05, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name       string
+		build      func() (*yield.System, error)
+		dist       defects.Distribution
+		naiveDegen bool // the same-budget naive sample is all-pass
+	}{
+		{
+			name:       "MS3/NB(0.02,2)",
+			build:      func() (*yield.System, error) { return benchmarks.MS(3) },
+			dist:       nb,
+			naiveDegen: true,
+		},
+		{
+			// Clustering thickens the tail enough that a stray naive
+			// failure can slip through, so no all-pass assertion here.
+			name:  "MS3/Hierarchical(0.05,2,3)",
+			build: func() (*yield.System, error) { return benchmarks.MS(3) },
+			dist:  h,
+		},
+		{
+			name:  "ESEN4x2/Poisson(0.02)",
+			build: func() (*yield.System, error) { return benchmarks.ESEN(4, 2) },
+			dist:  defects.Poisson{Lambda: 0.02},
+		},
+	}
+	for _, tc := range cases {
+		sys, err := tc.build()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		comb, err := yield.Evaluate(sys, yield.Options{Defects: tc.dist, Epsilon: 1e-12})
+		if err != nil {
+			t.Fatalf("%s: Evaluate: %v", tc.name, err)
+		}
+		if tc.naiveDegen {
+			naive, err := Estimate(sys, Options{Defects: tc.dist, Samples: samples, Seed: 20030622})
+			if err != nil {
+				t.Fatalf("%s: Estimate: %v", tc.name, err)
+			}
+			if !naive.Degenerate {
+				t.Errorf("%s: naive sample not degenerate (yield %v) — the case no longer probes the rare-event regime", tc.name, naive.Yield)
+			}
+		}
+		is, err := EstimateIS(sys, ISOptions{Defects: tc.dist, Samples: samples, Seed: 20030622})
+		if err != nil {
+			t.Fatalf("%s: EstimateIS: %v", tc.name, err)
+		}
+		if is.Degenerate {
+			t.Fatalf("%s: IS run degenerate", tc.name)
+		}
+		lo, hi := is.Yield-is.CI(3), is.Yield+is.CI(3)
+		if comb.Yield+comb.ErrorBound < lo || comb.Yield > hi {
+			t.Errorf("%s: combinatorial [%.10f, %.10f] outside IS 3σ interval [%.10f, %.10f]",
+				tc.name, comb.Yield, comb.Yield+comb.ErrorBound, lo, hi)
+		}
+		if is.RelErr > 0.1 {
+			t.Errorf("%s: relative error %v, want ≤ 10%% — the tilt is not engaging", tc.name, is.RelErr)
+		}
+		if is.ESS <= 0 {
+			t.Errorf("%s: non-positive ESS %v", tc.name, is.ESS)
+		}
+	}
+}

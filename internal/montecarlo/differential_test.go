@@ -1,0 +1,140 @@
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"socyield/internal/defects"
+	"socyield/internal/logic"
+	"socyield/internal/yield"
+)
+
+// diffFamilies returns one representative defect model per family the
+// defects package ships — the classical ones and the new hierarchical
+// clustering compounds — scaled by lam so callers can steer between
+// mid-yield and rare-failure regimes.
+func diffFamilies(t *testing.T, lam float64) map[string]defects.Distribution {
+	t.Helper()
+	nb, err := defects.NewNegativeBinomial(lam, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logd, err := defects.NewLogarithmic(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := defects.NewCompoundPoisson(0.8*lam, logd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := defects.NewHierarchical(lam, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two levels keep the collapsed mixture small (256 components), so
+	// the CDF tabulations inside the estimators stay cheap; the deeper
+	// nestings are covered by the defects property tests.
+	ml, err := defects.NewMultilevel(lam, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]defects.Distribution{
+		"negative-binomial": nb,
+		"poisson":           defects.Poisson{Lambda: lam},
+		"geometric":         defects.Geometric{Lambda: lam},
+		"compound-poisson":  cp,
+		"hierarchical":      h,
+		"multilevel":        ml,
+	}
+}
+
+// k3of8 is an 8-component 3-of-8 threshold system — small enough for
+// the exact enumeration oracle, rich enough that failure needs three
+// coinciding lethal defects.
+func k3of8() *yield.System {
+	f := logic.New()
+	ids := make([]logic.GateID, 8)
+	comps := make([]yield.Component, 8)
+	for i := range ids {
+		ids[i] = f.Input(fmt.Sprintf("c%d", i))
+		comps[i] = yield.Component{Name: fmt.Sprintf("c%d", i), P: 0.05}
+	}
+	f.SetOutput(f.AtLeast(3, ids...))
+	return &yield.System{Name: "k3of8", Components: comps, FaultTree: f}
+}
+
+// TestISDifferentialNaive cross-checks the two simulation routes on
+// mid-yield cases across every defect family: both estimate the same
+// quantity, so the seeded runs must agree within their combined 3σ.
+// Deterministic counts are exercised too — the tilt then reduces to a
+// no-op over a single support point.
+func TestISDifferentialNaive(t *testing.T) {
+	samples := 200000
+	if testing.Short() {
+		samples = 50000
+	}
+	sys := tmr(0.15)
+	fams := diffFamilies(t, 1.5)
+	fams["deterministic"] = defects.Deterministic{N: 3}
+	for name, dist := range fams {
+		naive, err := Estimate(sys, Options{Defects: dist, Samples: samples, Seed: 20030622})
+		if err != nil {
+			t.Fatalf("%s: Estimate: %v", name, err)
+		}
+		is, err := EstimateIS(sys, ISOptions{Defects: dist, Samples: samples, Seed: 20030622})
+		if err != nil {
+			t.Fatalf("%s: EstimateIS: %v", name, err)
+		}
+		sigma := 3 * math.Hypot(naive.StdErr, is.StdErr)
+		if d := math.Abs(naive.Yield - is.Yield); d > sigma {
+			t.Errorf("%s: naive %.6f vs IS %.6f, diff %.3g > 3σ = %.3g",
+				name, naive.Yield, is.Yield, d, sigma)
+		}
+		if naive.Degenerate || is.Degenerate {
+			t.Errorf("%s: unexpected degenerate run (naive=%v, IS=%v)", name, naive.Degenerate, is.Degenerate)
+		}
+	}
+}
+
+// TestISDifferentialExactOracle pins the IS estimator against the
+// exact enumeration oracle on C ≤ 12 trees at 1e-3 absolute, across
+// every defect family, in the moderately-rare regime where the tilt
+// actually engages — and requires the result to be bit-identical for
+// worker counts 1, 2 and 4 (run under -race in CI, this also certifies
+// the two-phase pool is race-clean).
+func TestISDifferentialExactOracle(t *testing.T) {
+	samples := 200000
+	if testing.Short() {
+		samples = 50000
+	}
+	systems := []*yield.System{tmr(0.15), k3of8()}
+	for name, dist := range diffFamilies(t, 0.4) {
+		for _, sys := range systems {
+			// ε = 1e-4 keeps M small enough that the 8-component
+			// enumeration stays inside the oracle's assignment budget.
+			exact, err := yield.ExactYield(sys, yield.Options{Defects: dist, Epsilon: 1e-4})
+			if err != nil {
+				t.Fatalf("%s/%s: ExactYield: %v", sys.Name, name, err)
+			}
+			base, err := EstimateIS(sys, ISOptions{Defects: dist, Samples: samples, Seed: 7, Workers: 1})
+			if err != nil {
+				t.Fatalf("%s/%s: EstimateIS: %v", sys.Name, name, err)
+			}
+			// The oracle truncates: truth lies in [Yield, Yield+bound].
+			if d := math.Abs(base.Yield - exact.Yield); d > 1e-3+exact.ErrorBound {
+				t.Errorf("%s/%s: IS %.6f vs exact %.6f, diff %.3g > 1e-3",
+					sys.Name, name, base.Yield, exact.Yield, d)
+			}
+			for _, workers := range []int{2, 4} {
+				got, err := EstimateIS(sys, ISOptions{Defects: dist, Samples: samples, Seed: 7, Workers: workers})
+				if err != nil {
+					t.Fatalf("%s/%s: EstimateIS(workers=%d): %v", sys.Name, name, workers, err)
+				}
+				if got != base {
+					t.Errorf("%s/%s: workers=%d result differs from workers=1", sys.Name, name, workers)
+				}
+			}
+		}
+	}
+}

@@ -63,11 +63,37 @@ type Result struct {
 	StdErr float64
 	// Samples echoes the sample count.
 	Samples int
+	// Degenerate reports an all-pass or all-fail sample: the binomial
+	// variance estimate is then exactly zero and CI collapses to a
+	// vacuously tight point. Use Wilson for an interval that stays
+	// honest in this regime (at p̂ = 1 its lower bound is the
+	// rule-of-three analogue n/(n+z²)).
+	Degenerate bool
 }
 
 // CI returns the half-width of the confidence interval at the given
 // number of standard errors (1.96 ≈ 95%).
 func (r Result) CI(z float64) float64 { return z * r.StdErr }
+
+// Wilson returns the Wilson score interval for the yield at z standard
+// errors. Unlike the normal-approximation interval it never collapses
+// to a point on degenerate (all-pass or all-fail) samples, so it is the
+// interval to quote when Result.Degenerate is set.
+func (r Result) Wilson(z float64) (lo, hi float64) {
+	n := float64(r.Samples)
+	p := r.Yield
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z*z/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
 
 // chunkSize is the shard granularity: small enough that worker loads
 // balance, large enough that the per-chunk PRNG setup is noise.
@@ -111,14 +137,18 @@ func Estimate(sys *yield.System, opts Options) (Result, error) {
 	pl := acc
 	// Tabulate the defect-count CDF once; each die then draws its
 	// count by binary search instead of a fresh PMF walk. The table
-	// stops where the remaining mass is below float64 resolution —
-	// beyond it the old linear walk could never terminate either.
+	// stops once the remaining mass drops below 1e-12: families built
+	// on truncated numeric expansions (compound Poisson, numeric
+	// thinning) can leave a residual around 1e-15 that a tighter stop
+	// would chase across the whole support at quadratic cost, and a
+	// draw landing past the table (probability < 1e-12) is handled
+	// below anyway.
 	countCDF := make([]float64, 0, 64)
 	cdf := 0.0
 	for k := 0; k <= maxDefects; k++ {
 		cdf += opts.Defects.PMF(k)
 		countCDF = append(countCDF, cdf)
-		if 1-cdf < 1e-16 {
+		if 1-cdf < 1e-12 {
 			break
 		}
 	}
@@ -189,11 +219,13 @@ func Estimate(sys *yield.System, opts Options) (Result, error) {
 	if err := firstErr.Load(); err != nil {
 		return Result{}, err.(error)
 	}
-	p := float64(functioning.Load()) / float64(opts.Samples)
+	ok := functioning.Load()
+	p := float64(ok) / float64(opts.Samples)
 	return Result{
-		Yield:   p,
-		StdErr:  math.Sqrt(p * (1 - p) / float64(opts.Samples)),
-		Samples: opts.Samples,
+		Yield:      p,
+		StdErr:     math.Sqrt(p * (1 - p) / float64(opts.Samples)),
+		Samples:    opts.Samples,
+		Degenerate: ok == 0 || ok == int64(opts.Samples),
 	}, nil
 }
 
@@ -222,7 +254,7 @@ func simulateChunk(sys *yield.System, rng *rand.Rand, n int, countCDF, cum []flo
 				return 0, fmt.Errorf("montecarlo: defect count sampling exceeded %d (tail too heavy)", maxDefects)
 			}
 			// The table stopped where the residual mass dropped below
-			// float64 resolution; landing past it (probability < 1e-16)
+			// its threshold; landing past it (probability < 1e-12)
 			// counts as the first untabulated value.
 			k = len(countCDF)
 		}

@@ -168,6 +168,57 @@ func TestEstimateLargerSystem(t *testing.T) {
 	}
 }
 
+// TestEstimateDegenerateSample pins the degenerate-sample contract:
+// an all-pass (or all-fail) sample has zero binomial variance, so the
+// normal CI is vacuously tight — the Result must say so, and the
+// Wilson interval must stay informative where the normal one
+// collapses.
+func TestEstimateDegenerateSample(t *testing.T) {
+	sys := tmr(0.1)
+	// λ small enough that 2000 dies almost surely all pass.
+	est, err := Estimate(sys, Options{Defects: defects.Poisson{Lambda: 1e-4}, Samples: 2000, Seed: 20030622})
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if est.Yield != 1 {
+		t.Skipf("seed produced a failing die (yield %v); case no longer degenerate", est.Yield)
+	}
+	if !est.Degenerate {
+		t.Error("all-pass sample not flagged Degenerate")
+	}
+	if est.CI(3) != 0 {
+		t.Errorf("normal CI = %v on an all-pass sample, expected the vacuous 0", est.CI(3))
+	}
+	lo, hi := est.Wilson(3)
+	if hi != 1 {
+		t.Errorf("Wilson upper = %v at p̂ = 1, want 1", hi)
+	}
+	// At p̂ = 1 the Wilson lower bound is n/(n+z²) — the rule-of-three
+	// analogue: ~9/n of failure probability cannot be excluded.
+	want := 2000.0 / (2000.0 + 9.0)
+	if math.Abs(lo-want) > 1e-12 {
+		t.Errorf("Wilson lower = %v, want n/(n+z²) = %v", lo, want)
+	}
+	// A mid-yield sample must not be flagged.
+	mid, err := Estimate(sys, Options{Defects: defects.Poisson{Lambda: 2}, Samples: 2000, Seed: 20030622})
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if mid.Degenerate {
+		t.Errorf("mid-yield sample (yield %v) flagged Degenerate", mid.Yield)
+	}
+	wlo, whi := mid.Wilson(3)
+	nlo, nhi := mid.Yield-mid.CI(3), mid.Yield+mid.CI(3)
+	if wlo >= mid.Yield || whi <= mid.Yield {
+		t.Errorf("Wilson [%v, %v] does not contain the point estimate %v", wlo, whi, mid.Yield)
+	}
+	// Wilson and normal intervals agree to first order away from the
+	// boundary.
+	if math.Abs(wlo-nlo) > 3*mid.StdErr || math.Abs(whi-nhi) > 3*mid.StdErr {
+		t.Errorf("Wilson [%v, %v] far from normal [%v, %v]", wlo, whi, nlo, nhi)
+	}
+}
+
 // TestEstimateRecorder checks the simulation instrumentation: chunk
 // and sample counters, determinism under a recorder, and the progress
 // hook advancing once per chunk.

@@ -18,12 +18,16 @@ import (
 
 // DefectSpec selects a defect-count distribution. Dist is one of
 // "negative-binomial" (the default; uses Lambda and Alpha), "poisson"
-// (Lambda), "geometric" (Lambda) or "deterministic" (N).
+// (Lambda), "geometric" (Lambda), "deterministic" (N), "hierarchical"
+// (Lambda, Alpha, Beta — two-level clustering) or "multilevel"
+// (Lambda, Alphas — innermost clustering parameter first).
 type DefectSpec struct {
-	Dist   string  `json:"dist,omitempty"`
-	Lambda float64 `json:"lambda,omitempty"`
-	Alpha  float64 `json:"alpha,omitempty"`
-	N      int     `json:"n,omitempty"`
+	Dist   string    `json:"dist,omitempty"`
+	Lambda float64   `json:"lambda,omitempty"`
+	Alpha  float64   `json:"alpha,omitempty"`
+	Beta   float64   `json:"beta,omitempty"`
+	Alphas []float64 `json:"alphas,omitempty"`
+	N      int       `json:"n,omitempty"`
 }
 
 func (d *DefectSpec) distribution() (defects.Distribution, error) {
@@ -46,8 +50,12 @@ func (d *DefectSpec) distribution() (defects.Distribution, error) {
 			return nil, fmt.Errorf("deterministic: n %d must be ≥ 0", d.N)
 		}
 		return defects.Deterministic{N: d.N}, nil
+	case "hierarchical":
+		return defects.NewHierarchical(d.Lambda, d.Alpha, d.Beta)
+	case "multilevel":
+		return defects.NewMultilevel(d.Lambda, d.Alphas...)
 	default:
-		return nil, fmt.Errorf("unknown distribution %q (want negative-binomial, poisson, geometric or deterministic)", d.Dist)
+		return nil, fmt.Errorf("unknown distribution %q (want negative-binomial, poisson, geometric, deterministic, hierarchical or multilevel)", d.Dist)
 	}
 }
 

@@ -101,6 +101,18 @@ func TestEvaluateBitIdenticalToLibrary(t *testing.T) {
 			opts: yield.Options{Defects: defects.Poisson{Lambda: 1.5}, Epsilon: 1e-5,
 				MVOrder: order.MVWV, BitOrder: order.BitLM},
 		},
+		{
+			name: "bench MS2 hierarchical",
+			body: `{"bench": "MS2", "defects": {"dist": "hierarchical", "lambda": 1.5, "alpha": 2, "beta": 3}, "epsilon": 1e-4}`,
+			sys:  func() (*yield.System, error) { return benchmarks.ByName("MS2") },
+			opts: yield.Options{Defects: mustHierarchical(t, 1.5, 2, 3), Epsilon: 1e-4},
+		},
+		{
+			name: "ftdsl TMR multilevel",
+			body: fmt.Sprintf(`{"ftdsl": %q, "defects": {"dist": "multilevel", "lambda": 1, "alphas": [2, 3]}, "epsilon": 1e-4}`, tmrFTDSL),
+			sys:  func() (*yield.System, error) { return ftdsl.Parse(tmrFTDSL) },
+			opts: yield.Options{Defects: mustMultilevel(t, 1, 2, 3), Epsilon: 1e-4},
+		},
 	}
 	for _, tc := range cases {
 		sys, err := tc.sys()
@@ -135,6 +147,24 @@ func TestEvaluateBitIdenticalToLibrary(t *testing.T) {
 func mustNB(t *testing.T, lambda, alpha float64) defects.Distribution {
 	t.Helper()
 	d, err := defects.NewNegativeBinomial(lambda, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func mustHierarchical(t *testing.T, lambda, alpha, beta float64) defects.Distribution {
+	t.Helper()
+	d, err := defects.NewHierarchical(lambda, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func mustMultilevel(t *testing.T, lambda float64, alphas ...float64) defects.Distribution {
+	t.Helper()
+	d, err := defects.NewMultilevel(lambda, alphas...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,6 +375,8 @@ func TestValidationErrors(t *testing.T) {
 		{"no defects", "/v1/evaluate", `{"bench": "MS2"}`, http.StatusBadRequest},
 		{"bad distribution", "/v1/evaluate", `{"bench": "MS2", "defects": {"dist": "zipf", "lambda": 1}}`, http.StatusBadRequest},
 		{"bad nb params", "/v1/evaluate", `{"bench": "MS2", "defects": {"lambda": -1, "alpha": 2}}`, http.StatusBadRequest},
+		{"bad hierarchical params", "/v1/evaluate", `{"bench": "MS2", "defects": {"dist": "hierarchical", "lambda": 1, "alpha": 0, "beta": 2}}`, http.StatusBadRequest},
+		{"multilevel without alphas", "/v1/evaluate", `{"bench": "MS2", "defects": {"dist": "multilevel", "lambda": 1}}`, http.StatusBadRequest},
 		{"bad mv order", "/v1/evaluate", `{"bench": "MS2", "defects": {"lambda": 1, "alpha": 2}, "mv_order": "zz"}`, http.StatusBadRequest},
 		{"bad lethality count", "/v1/evaluate", `{"bench": "MS2", "defects": {"lambda": 1, "alpha": 2}, "lethalities": [0.5]}`, http.StatusBadRequest},
 		{"empty lambdas", "/v1/sweep", `{"bench": "MS2", "defects": {"lambda": 1, "alpha": 2}, "lambdas": []}`, http.StatusBadRequest},

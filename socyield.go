@@ -26,9 +26,11 @@
 // inputs are the components' failed-state variables; the function value
 // 1 means the system is NOT functioning. Defect distributions include
 // the negative binomial (the standard clustered yield model), Poisson,
-// geometric, and deterministic counts; arbitrary distributions are
-// supported through the Distribution interface and are thinned to the
-// lethal-defect model numerically.
+// geometric, deterministic counts, the compound Poisson, and the
+// hierarchical/multilevel clustered models (nested gamma-modulated
+// Poisson intensities); arbitrary distributions are supported through
+// the Distribution interface and are thinned to the lethal-defect
+// model numerically.
 //
 // The benchmark generators of the paper (MSn master–slave SoCs and
 // ESENnxm interconnection-network SoCs), the ordering heuristics, the
@@ -309,6 +311,28 @@ func NewCompoundPoisson(rate float64, clusterSize Distribution) (CompoundPoisson
 // is exactly negative binomial.
 type Logarithmic = defects.Logarithmic
 
+// Hierarchical is the two-level clustered defect model: Poisson defect
+// counts whose intensity is modulated by two nested gamma-distributed
+// scale factors (die within wafer within lot).
+type Hierarchical = defects.Hierarchical
+
+// NewHierarchical validates and returns a two-level hierarchical model
+// with mean lambda and per-level clustering parameters alpha and beta.
+func NewHierarchical(lambda, alpha, beta float64) (Hierarchical, error) {
+	return defects.NewHierarchical(lambda, alpha, beta)
+}
+
+// Multilevel is the general L-level clustered defect model with one
+// gamma-distributed scale factor per hierarchy level; one level is
+// exactly the negative binomial.
+type Multilevel = defects.Multilevel
+
+// NewMultilevel validates and returns an L-level model with mean
+// lambda and one clustering parameter per level, innermost first.
+func NewMultilevel(lambda float64, alphas ...float64) (Multilevel, error) {
+	return defects.NewMultilevel(lambda, alphas...)
+}
+
 // MVOrdering selects the ordering of the multiple-valued variables
 // (paper names: wv, wvr, vw, vrw, t, w, h).
 type MVOrdering = order.MVKind
@@ -355,6 +379,23 @@ type MonteCarloResult = montecarlo.Result
 // alternative the combinatorial method improves on.
 func MonteCarlo(sys *System, opts MonteCarloOptions) (MonteCarloResult, error) {
 	return montecarlo.Estimate(sys, opts)
+}
+
+// ImportanceOptions configure the rare-event importance-sampling
+// simulator (sample budget, adaptive or fixed exponential tilt).
+type ImportanceOptions = montecarlo.ISOptions
+
+// ImportanceResult is an importance-sampling estimate with its
+// diagnostics (chosen tilt, effective sample size, relative error on
+// the failure probability).
+type ImportanceResult = montecarlo.ISResult
+
+// MonteCarloImportance estimates the yield by importance-sampled
+// simulation under an exponentially tilted defect-count proposal —
+// sharp in the near-certain-yield regime where naive simulation
+// degenerates to an all-pass sample.
+func MonteCarloImportance(sys *System, opts ImportanceOptions) (ImportanceResult, error) {
+	return montecarlo.EstimateIS(sys, opts)
 }
 
 // Lifetime models a component's field-failure process for the

@@ -58,6 +58,51 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPublicImportanceSampling drives the rare-event exports end to
+// end: a hierarchical clustered defect model at low intensity, where
+// the IS estimate must bracket the combinatorial interval while naive
+// simulation at the same budget would certify nothing.
+func TestPublicImportanceSampling(t *testing.T) {
+	sys := tmr(t)
+	dist, err := socyield.NewHierarchical(0.05, 2, 3)
+	if err != nil {
+		t.Fatalf("NewHierarchical: %v", err)
+	}
+	res, err := socyield.Evaluate(sys, socyield.Options{Defects: dist, Epsilon: 1e-10})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	is, err := socyield.MonteCarloImportance(sys, socyield.ImportanceOptions{
+		Defects: dist, Samples: 60000, Seed: 20030622,
+	})
+	if err != nil {
+		t.Fatalf("MonteCarloImportance: %v", err)
+	}
+	if is.Degenerate {
+		t.Fatal("IS run degenerate")
+	}
+	lo, hi := is.Yield-is.CI(3), is.Yield+is.CI(3)
+	if res.Yield+res.ErrorBound < lo || res.Yield > hi {
+		t.Errorf("combinatorial [%.10f, %.10f] outside IS 3σ [%.10f, %.10f]",
+			res.Yield, res.Yield+res.ErrorBound, lo, hi)
+	}
+	if is.ESS <= 0 || is.Tilt <= 0 {
+		t.Errorf("diagnostics: ESS %v, tilt %v", is.ESS, is.Tilt)
+	}
+	// The multilevel family with one level degenerates to the negative
+	// binomial; pin the aliasing through the root exports.
+	ml, err := socyield.NewMultilevel(2, 0.25)
+	if err != nil {
+		t.Fatalf("NewMultilevel: %v", err)
+	}
+	nb, _ := socyield.NewNegativeBinomial(2, 0.25)
+	for k := 0; k <= 10; k++ {
+		if diff := math.Abs(ml.PMF(k) - nb.PMF(k)); diff > 1e-12 {
+			t.Errorf("Multilevel(2;0.25).PMF(%d) = %v, NB = %v", k, ml.PMF(k), nb.PMF(k))
+		}
+	}
+}
+
 func TestPublicBenchmarkGenerators(t *testing.T) {
 	ms, err := socyield.MS(2)
 	if err != nil {
